@@ -1,0 +1,22 @@
+"""Benchmark E8: offered load vs allocation on access links (§2.2).
+
+Asserts: below saturation every application's allocation equals its
+offered load (CCA dynamics irrelevant); past saturation allocation
+errors appear.
+"""
+
+from repro.experiments import access_link
+
+from conftest import once
+
+
+def test_access_link(benchmark, bench_scale):
+    duration = 10.0 if bench_scale == "full" else 3.0
+    result = once(benchmark, access_link.run, duration=duration)
+
+    print()
+    print(result.text)
+
+    m = result.metrics
+    assert m["max_error_below_saturation"] < 0.02
+    assert m["min_error_above_saturation"] > 0.05

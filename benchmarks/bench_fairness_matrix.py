@@ -1,0 +1,28 @@
+"""Benchmark E6: the pairwise CCA contention matrix.
+
+Asserts the shapes the paper's introduction cites: BBR takes more than
+its fair share against NewReno/Cubic in deep buffers (Ware et al.),
+delay-based CCAs lose to loss-based ones, and same-vs-same pairings
+split roughly evenly.
+"""
+
+from repro.experiments import fairness_matrix
+
+from conftest import once
+
+
+def test_fairness_matrix(benchmark, bench_scale):
+    duration = 30.0 if bench_scale == "full" else 12.0
+    result = once(benchmark, fairness_matrix.run, duration=duration)
+
+    print()
+    print(result.text)
+
+    m = result.metrics
+    # Ware et al.: BBR beats loss-based CCAs in deep buffers.
+    assert m["bbr_share_vs_loss_min"] > 0.5
+    # Delay-based yields to loss-based.
+    assert m["vegas_share_vs_loss_max"] < 0.5
+    # Same-vs-same lands near a 50/50 split.
+    for cca in ("reno", "cubic"):
+        assert abs(m[f"share_{cca}_vs_{cca}"] - 0.5) < 0.2

@@ -1,0 +1,96 @@
+"""Benchmark E1 / Figure 2: the §3.1 NDT pipeline at paper scale.
+
+Regenerates the Figure 2 breakdown over 9,984 synthetic flows (the
+paper's June 2023 sample size) and asserts the paper-shape results:
+a large majority of flows filtered as app-/receiver-limited or
+cellular, a small residual fraction with throughput level shifts, and
+the policed-flow ambiguity that motivates §3.2.
+
+Also ablates the change-point algorithm choice (PELT vs binary
+segmentation), the design decision DESIGN.md calls out.
+"""
+
+import numpy as np
+
+from repro.analysis import binary_segmentation, pelt
+from repro.experiments import fig2
+from repro.ndt import SyntheticNdtGenerator
+
+from conftest import once
+
+
+def test_fig2_paper_scale(benchmark, bench_scale):
+    n_flows = 9_984 if bench_scale == "full" else 1_000
+    result = once(benchmark, fig2.run, n_flows=n_flows, seed=2023)
+
+    print()
+    print(result.text)
+
+    m = result.metrics
+    # Paper shape: most flows removed by the §3.1 filters.
+    assert m["fraction_filtered"] > 0.55
+    # Only a small residual fraction shows level shifts.
+    assert m["fraction_possible_contention"] < 0.20
+    # The passive signal is imperfect: precision < 1 (policed flows),
+    # which is the paper's argument for the active technique.
+    assert m["detector_precision"] < 0.999
+    assert m["detector_recall"] > 0.9
+
+
+def test_fig2_changepoint_algorithm_ablation(benchmark):
+    """PELT and binary segmentation agree on the headline fraction."""
+    dataset = SyntheticNdtGenerator(seed=2023).generate(400)
+    series = [r.throughput_series() for r in dataset.records]
+
+    def run_both():
+        pelt_changes = sum(
+            1 for s in series if pelt(s, min_segment=4).num_changes)
+        binseg_changes = sum(
+            1 for s in series
+            if binary_segmentation(s, min_segment=4).num_changes)
+        return pelt_changes, binseg_changes
+
+    pelt_n, binseg_n = once(benchmark, run_both)
+    assert abs(pelt_n - binseg_n) <= 0.2 * max(pelt_n, binseg_n, 1)
+
+
+def test_fig2_shift_threshold_sensitivity(benchmark):
+    """The headline fraction is stable across reasonable shift
+    thresholds (0.15-0.35): the conclusion is not knife-edge."""
+
+    def sweep():
+        return [fig2.run(n_flows=800, seed=2023,
+                         min_relative_shift=s).metrics[
+                             "fraction_possible_contention"]
+                for s in (0.15, 0.25, 0.35)]
+
+    fractions = once(benchmark, sweep)
+    assert max(fractions) - min(fractions) < 0.10
+    assert all(f < 0.2 for f in fractions)
+
+
+def test_fig2_population_sensitivity(benchmark):
+    """The Figure 2 conclusion (most flows filtered, small residual
+    with shifts) is stable across plausible population mixes, not an
+    artifact of the default calibration."""
+    from repro.ndt import PopulationModel
+
+    mixes = []
+    for app_limited in (0.35, 0.45, 0.55):
+        rest = 1.0 - app_limited - 0.14 - 0.07
+        mixes.append(PopulationModel(class_mix=(
+            ("app_limited", app_limited),
+            ("rwnd_limited", 0.14),
+            ("bulk_clean", round(rest * 0.7, 6)),
+            ("bulk_contended", round(rest * 0.3, 6)),
+            ("policed", 0.07),
+        )))
+
+    def sweep():
+        return [fig2.run(n_flows=800, seed=2023, model=m).metrics
+                for m in mixes]
+
+    results = once(benchmark, sweep)
+    for metrics in results:
+        assert metrics["fraction_filtered"] > 0.5
+        assert metrics["fraction_possible_contention"] < 0.2

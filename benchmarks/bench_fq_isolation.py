@@ -1,0 +1,27 @@
+"""Benchmark E3: fair queueing eliminates CCA contention (§2.1).
+
+Asserts the paper-shape result: under DropTail, aggressive pairings
+(BBR vs loss-based CCAs at a 1xBDP bottleneck) skew the allocation;
+under per-flow fair queueing, every pairing is near-perfectly fair
+regardless of CCA.
+"""
+
+from repro.experiments import fq_ablation
+
+from conftest import once
+
+
+def test_fq_ablation(benchmark, bench_scale):
+    duration = 30.0 if bench_scale == "full" else 12.0
+    result = once(benchmark, fq_ablation.run, duration=duration)
+
+    print()
+    print(result.text)
+
+    m = result.metrics
+    # FQ: Jain ~ 1.0 for every pairing.
+    assert m["min_jain_fq"] > 0.95
+    # DropTail: at least one pairing visibly skewed.
+    assert m["min_jain_droptail"] < 0.9
+    # FQ strictly dominates DropTail on fairness.
+    assert m["mean_jain_fq"] > m["mean_jain_droptail"]

@@ -1,0 +1,90 @@
+"""Performance microbenchmarks (P1-P3): engine, estimator, detectors.
+
+These measure the substrate itself (events/second, estimator update
+cost, change-point throughput), with real pytest-benchmark repetition.
+"""
+
+import numpy as np
+
+from repro.analysis import binary_segmentation, pelt
+from repro.cca import RenoCca
+from repro.core.elasticity import ElasticityEstimator, elasticity_series
+from repro.sim import Simulator, dumbbell
+from repro.tcp import Connection
+from repro.units import mbps, ms
+
+
+def test_perf_engine_event_throughput(benchmark):
+    """P1: raw event scheduling/dispatch rate."""
+
+    def run_events():
+        sim = Simulator()
+
+        def chain():
+            if sim.now < 1.0:
+                sim.schedule(1e-5, chain)
+
+        for _ in range(10):
+            sim.schedule(0.0, chain)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_events)
+    assert events >= 10 * 100_000
+
+
+def test_perf_packet_simulation_rate(benchmark):
+    """P1b: full transport stack, packets simulated per second."""
+
+    def run_transfer():
+        sim = Simulator()
+        path = dumbbell(sim, mbps(20), ms(20))
+        conn = Connection(sim, path, "f", RenoCca())
+        conn.sender.set_infinite_backlog()
+        sim.run(until=5.0)
+        return path.bottleneck.delivered_packets
+
+    packets = benchmark(run_transfer)
+    assert packets > 1_000
+
+
+def test_perf_elasticity_estimator(benchmark):
+    """P2: streaming estimator cost per 1k samples (with readings)."""
+    rng = np.random.default_rng(0)
+    samples = 1e6 + 1e5 * rng.normal(size=2_000)
+
+    def feed():
+        est = ElasticityEstimator(pulse_freq=5.0, sample_interval=0.01,
+                                  window=5.0, update_interval=0.1)
+        for i, z in enumerate(samples):
+            est.add_sample(i * 0.01, float(z))
+        return len(est.readings)
+
+    readings = benchmark(feed)
+    assert readings > 10
+
+
+def test_perf_offline_elasticity(benchmark):
+    """P2b: offline sliding-window analysis of a 60 s trace."""
+    t = np.arange(0, 60.0, 0.01)
+    z = 1e6 + 5e5 * np.sin(2 * np.pi * 5.0 * t)
+    result = benchmark(elasticity_series, t, z)
+    assert len(result) > 50
+
+
+def test_perf_pelt(benchmark):
+    """P3: PELT over a 2,000-point noisy step signal."""
+    rng = np.random.default_rng(1)
+    signal = np.concatenate([rng.normal(i * 10.0, 1.0, 500)
+                             for i in range(4)])
+    result = benchmark(pelt, signal)
+    assert result.num_changes >= 3
+
+
+def test_perf_binseg(benchmark):
+    """P3b: binary segmentation over the same signal."""
+    rng = np.random.default_rng(1)
+    signal = np.concatenate([rng.normal(i * 10.0, 1.0, 500)
+                             for i in range(4)])
+    result = benchmark(binary_segmentation, signal)
+    assert result.num_changes >= 3

@@ -1,0 +1,27 @@
+"""Benchmark E5: sub-packet-BDP starvation (§2.3, Chen et al.).
+
+Asserts: when the BDP is below one packet, Reno flows starve over
+~20-second windows (timeout-driven), while the same flow count on a
+healthy link shares cleanly.
+"""
+
+from repro.experiments import subpacket
+
+from conftest import once
+
+
+def test_subpacket_starvation(benchmark, bench_scale):
+    duration = 120.0 if bench_scale == "full" else 60.0
+    result = once(benchmark, subpacket.run, duration=duration)
+
+    print()
+    print(result.text)
+
+    m = result.metrics
+    assert m["subpacket_bdp_packets"] < 1.0
+    # Starvation windows are common on the sub-packet link...
+    assert m["subpacket_starved_fraction"] > 0.1
+    # ...and driven by timeouts...
+    assert m["subpacket_timeouts"] > 10
+    # ...while the healthy link shows (almost) none.
+    assert m["healthy_starved_fraction"] < 0.05

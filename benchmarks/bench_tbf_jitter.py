@@ -1,0 +1,30 @@
+"""Benchmark E4: token-bucket shaping causes jitter contention (§5.2).
+
+Asserts: with bandwidth isolation held constant, a live stream's delay
+jitter grows with the token-bucket burst size, and the largest burst is
+much worse than a smooth shaper -- contention has moved to jitter.
+"""
+
+from repro.experiments import tbf_jitter
+
+from conftest import once
+
+
+def test_tbf_jitter(benchmark, bench_scale):
+    duration = 20.0 if bench_scale == "full" else 8.0
+    result = once(benchmark, tbf_jitter.run, duration=duration)
+
+    print()
+    print(result.text)
+
+    m = result.metrics
+    assert m["span_amplification"] > 2.0, (
+        "big token-bucket bursts should amplify the live stream's "
+        "RFC 3550 jitter well beyond the smooth shaper")
+    rows = result.tables["jitter"]
+    # The largest burst is the worst offender on at least one statistic.
+    last = rows[-1]
+    others = rows[1:-1]
+    assert (all(last["jitter_ms"] >= r["jitter_ms"] for r in others)
+            or all(last["delay_p99_ms"] >= r["delay_p99_ms"]
+                   for r in others))

@@ -1,0 +1,29 @@
+"""Benchmark E9: TSLP finds congestion; only elasticity finds contention.
+
+Asserts the §4 claim: latency probes flag both the contended path and
+the aggregate-overwhelmed path as "congested", while the elasticity
+probe separates them.
+"""
+
+from repro.experiments import tslp_vs_elasticity
+
+from conftest import once
+
+
+def test_tslp_vs_elasticity(benchmark, bench_scale):
+    duration = 30.0 if bench_scale == "full" else 15.0
+    result = once(benchmark, tslp_vs_elasticity.run, duration=duration)
+
+    print()
+    print(result.text)
+
+    m = result.metrics
+    # TSLP cannot discriminate: it flags both loaded paths.
+    assert m["tslp_flags_contention"] == 1.0
+    assert m["tslp_flags_aggregate"] == 1.0
+    # The elasticity probe can: only the true contention path reads
+    # confidently "contending" (a heavy aggregate of TCP slow starts
+    # is transiently elastic and may reach the inconclusive band).
+    assert m["probe_flags_contention"] == 1.0
+    assert m["probe_flags_aggregate"] == 0.0
+    assert m["elasticity_contention"] > 1.5 * m["elasticity_aggregate"]

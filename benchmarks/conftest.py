@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Simulation benchmarks are single-shot (``rounds=1``): the workload is a
+deterministic discrete-event run, so repetition only measures the same
+events again.  Microbenchmarks (``bench_perf_*``) use normal
+pytest-benchmark repetition.
+
+Set ``REPRO_BENCH_SCALE=small`` to shrink the figure-scale benchmarks
+(useful for CI smoke runs); the default reproduces the paper-scale
+parameters.
+"""
+
+import os
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "full")

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""A miniature Figure 3: watch elasticity react to changing cross traffic.
+
+Runs the paper's five cross-traffic phases (shortened to 20 s each) on
+the 48 Mbit/s / 100 ms link and renders the elasticity time series as
+an ASCII chart with phase markers -- contending phases (reno, bbr)
+should stand clearly above the others.
+
+Run:  python examples/elasticity_probe.py
+"""
+
+from repro import viz
+from repro.experiments.fig3 import run
+from repro.traffic import FIGURE3_PHASES, Phase
+
+
+def main() -> None:
+    print(__doc__)
+    phases = tuple(Phase(p.name, 20.0) for p in FIGURE3_PHASES)
+    result = run(phases=phases)
+    print(result.text)
+    print()
+    means = [(f"elasticity_{p.name}", result.metrics[f"elasticity_{p.name}"])
+             for p in phases]
+    print(viz.bar_chart([name for name, _ in means],
+                        [value for _, value in means],
+                        title="Mean elasticity per phase"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Centralized bandwidth allocation (the §2.1 hyperscaler mechanisms)."""
+
+from .bwe import BweController, DemandNode, allocate, weighted_water_fill
+
+__all__ = ["BweController", "DemandNode", "allocate",
+           "weighted_water_fill"]

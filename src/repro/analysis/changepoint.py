@@ -1,0 +1,226 @@
+"""Offline change-point detection.
+
+The paper's §3.1 searches M-Lab flows for throughput level shifts,
+citing the survey of Truong, Oudre & Vayatis (Signal Processing 2020)
+[60].  We implement the two workhorse algorithms from that survey:
+
+* :func:`binary_segmentation` -- greedy recursive splitting; fast and
+  simple, approximate.
+* :func:`pelt` -- Pruned Exact Linear Time (Killick et al. 2012);
+  exact penalized optimum with amortized linear cost.
+
+Both use a piecewise-constant (L2 / Gaussian mean-shift) cost by
+default, which is the right model for "did this flow's achieved
+throughput level change".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+class L2Cost:
+    """Sum of squared deviations from the segment mean.
+
+    cost(a, b) over signal x = sum_{a<=i<b} (x_i - mean(x[a:b]))^2,
+    computed in O(1) per query from prefix sums.
+    """
+
+    def __init__(self, signal: np.ndarray):
+        x = np.asarray(signal, dtype=float)
+        if x.ndim != 1:
+            raise AnalysisError("signal must be one-dimensional")
+        self.n = len(x)
+        self._cum = np.concatenate([[0.0], np.cumsum(x)])
+        self._cum2 = np.concatenate([[0.0], np.cumsum(x * x)])
+
+    def cost(self, a: int, b: int) -> float:
+        """Cost of the segment ``signal[a:b]``."""
+        n = b - a
+        if n <= 0:
+            return 0.0
+        s = self._cum[b] - self._cum[a]
+        s2 = self._cum2[b] - self._cum2[a]
+        return max(0.0, s2 - s * s / n)
+
+
+class NormalMeanVarCost:
+    """Negative log-likelihood cost for a Gaussian with free mean and
+    variance per segment -- detects changes in mean *or* variance."""
+
+    MIN_SEGMENT = 2
+
+    def __init__(self, signal: np.ndarray):
+        x = np.asarray(signal, dtype=float)
+        if x.ndim != 1:
+            raise AnalysisError("signal must be one-dimensional")
+        self.n = len(x)
+        self._cum = np.concatenate([[0.0], np.cumsum(x)])
+        self._cum2 = np.concatenate([[0.0], np.cumsum(x * x)])
+
+    def cost(self, a: int, b: int) -> float:
+        n = b - a
+        if n < self.MIN_SEGMENT:
+            return 0.0
+        s = self._cum[b] - self._cum[a]
+        s2 = self._cum2[b] - self._cum2[a]
+        var = max((s2 - s * s / n) / n, 1e-12)
+        return n * (math.log(var) + 1.0 + math.log(2.0 * math.pi)) / 2.0
+
+
+def default_penalty(signal: np.ndarray) -> float:
+    """BIC-style penalty: 2 * sigma^2 * log(n), with sigma estimated
+    robustly from first differences (median absolute deviation)."""
+    x = np.asarray(signal, dtype=float)
+    n = len(x)
+    if n < 4:
+        return float("inf")
+    diffs = np.diff(x)
+    mad = np.median(np.abs(diffs - np.median(diffs)))
+    sigma = max(mad / 0.6745 / math.sqrt(2.0), 1e-12)
+    return 2.0 * sigma * sigma * math.log(n)
+
+
+@dataclass(frozen=True)
+class ChangePointResult:
+    """Detected change points and bookkeeping.
+
+    Attributes:
+        breakpoints: sorted indices i where a new segment starts
+            (0 < i < n); empty if the signal is one level throughout.
+        segments: (start, end) index pairs covering the signal.
+        penalty: the penalty value used.
+    """
+
+    breakpoints: tuple[int, ...]
+    n: int
+    penalty: float
+
+    @property
+    def segments(self) -> tuple[tuple[int, int], ...]:
+        edges = [0, *self.breakpoints, self.n]
+        return tuple((edges[i], edges[i + 1]) for i in range(len(edges) - 1))
+
+    @property
+    def num_changes(self) -> int:
+        return len(self.breakpoints)
+
+
+def pelt(signal, penalty: float | None = None, cost_class=L2Cost,
+         min_segment: int = 2) -> ChangePointResult:
+    """Exact penalized change-point detection (PELT).
+
+    Args:
+        signal: 1-D array-like.
+        penalty: per-change-point penalty; default is a robust BIC.
+        cost_class: segment cost model (L2Cost or NormalMeanVarCost).
+        min_segment: minimum points per segment.
+
+    Returns:
+        :class:`ChangePointResult` with the optimal breakpoints.
+    """
+    x = np.asarray(signal, dtype=float)
+    n = len(x)
+    if n < 2 * min_segment:
+        return ChangePointResult((), n, penalty or float("inf"))
+    if penalty is None:
+        penalty = default_penalty(x)
+    cost = cost_class(x)
+
+    # f[t] = optimal cost of x[0:t]; prev[t] = last breakpoint before t.
+    f = [0.0] + [float("inf")] * n
+    prev = [0] * (n + 1)
+    candidates = [0]
+    for t in range(min_segment, n + 1):
+        best, best_s = float("inf"), 0
+        for s in candidates:
+            if t - s < min_segment:
+                continue
+            value = f[s] + cost.cost(s, t) + penalty
+            if value < best:
+                best, best_s = value, s
+        f[t] = best
+        prev[t] = best_s
+        # Prune candidates that can never win again.
+        candidates = [s for s in candidates
+                      if f[s] + cost.cost(s, t) <= f[t]]
+        candidates.append(t - min_segment + 1)
+
+    breakpoints = []
+    t = n
+    while t > 0:
+        s = prev[t]
+        if s > 0:
+            breakpoints.append(s)
+        t = s
+    return ChangePointResult(tuple(sorted(breakpoints)), n, penalty)
+
+
+def binary_segmentation(signal, penalty: float | None = None,
+                        cost_class=L2Cost, min_segment: int = 2,
+                        max_changes: int | None = None) -> ChangePointResult:
+    """Greedy top-down change-point detection.
+
+    Recursively split at the point with the largest cost reduction
+    until no split beats the penalty (or ``max_changes`` is reached).
+    """
+    x = np.asarray(signal, dtype=float)
+    n = len(x)
+    if n < 2 * min_segment:
+        return ChangePointResult((), n, penalty or float("inf"))
+    if penalty is None:
+        penalty = default_penalty(x)
+    cost = cost_class(x)
+
+    def best_split(a: int, b: int) -> tuple[float, int]:
+        base = cost.cost(a, b)
+        best_gain, best_i = 0.0, -1
+        for i in range(a + min_segment, b - min_segment + 1):
+            gain = base - cost.cost(a, i) - cost.cost(i, b)
+            if gain > best_gain:
+                best_gain, best_i = gain, i
+        return best_gain, best_i
+
+    breakpoints: list[int] = []
+    queue = [(0, n)]
+    while queue:
+        if max_changes is not None and len(breakpoints) >= max_changes:
+            break
+        # Split the segment offering the biggest gain first.
+        gains = [(best_split(a, b), (a, b)) for a, b in queue]
+        gains.sort(key=lambda item: item[0][0], reverse=True)
+        (gain, idx), (a, b) = gains[0]
+        queue.remove((a, b))
+        if idx < 0 or gain <= penalty:
+            continue
+        breakpoints.append(idx)
+        queue.extend([(a, idx), (idx, b)])
+    return ChangePointResult(tuple(sorted(breakpoints)), n, penalty)
+
+
+def throughput_level_shift(signal, penalty: float | None = None,
+                           min_relative_shift: float = 0.2,
+                           min_segment: int = 4) -> ChangePointResult:
+    """The §3.1 detector: change points that are *meaningful* throughput
+    level shifts.
+
+    Runs PELT, then keeps only breakpoints where the mean level changes
+    by at least ``min_relative_shift`` of the larger side -- filtering
+    the small wiggles that would otherwise count as "contention".
+    """
+    x = np.asarray(signal, dtype=float)
+    raw = pelt(x, penalty=penalty, min_segment=min_segment)
+    kept = []
+    edges = [0, *raw.breakpoints, raw.n]
+    for i, bp in enumerate(raw.breakpoints):
+        left = x[edges[i]:bp].mean()
+        right = x[bp:edges[i + 2]].mean()
+        scale = max(abs(left), abs(right), 1e-12)
+        if abs(left - right) / scale >= min_relative_shift:
+            kept.append(bp)
+    return ChangePointResult(tuple(kept), raw.n, raw.penalty)

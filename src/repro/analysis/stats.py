@@ -1,0 +1,105 @@
+"""Distribution statistics: empirical CDFs, percentiles, bootstrap CIs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF.
+
+    Attributes:
+        values: sorted sample values.
+        fractions: cumulative fraction at each value (ends at 1.0).
+    """
+
+    values: np.ndarray
+    fractions: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples) -> "Cdf":
+        x = np.sort(np.asarray(samples, dtype=float))
+        if len(x) == 0:
+            raise AnalysisError("cannot build a CDF from no samples")
+        frac = np.arange(1, len(x) + 1, dtype=float) / len(x)
+        return cls(values=x, fractions=frac)
+
+    def quantile(self, q: float) -> float:
+        """Value at cumulative fraction ``q`` (0 < q <= 1)."""
+        if not 0 < q <= 1:
+            raise AnalysisError(f"quantile must be in (0, 1]: {q}")
+        idx = int(np.searchsorted(self.fractions, q))
+        idx = min(idx, len(self.values) - 1)
+        return float(self.values[idx])
+
+    def fraction_below(self, value: float) -> float:
+        """Fraction of samples <= ``value``."""
+        return float(np.searchsorted(self.values, value, side="right")
+                     / len(self.values))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def points(self, max_points: int = 200) -> list[tuple[float, float]]:
+        """Downsampled (value, fraction) pairs for plotting/CSV export."""
+        n = len(self.values)
+        if n <= max_points:
+            idx = np.arange(n)
+        else:
+            idx = np.unique(np.linspace(0, n - 1, max_points).astype(int))
+        return [(float(self.values[i]), float(self.fractions[i]))
+                for i in idx]
+
+
+def percentile(samples, q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``samples``."""
+    if not 0 <= q <= 100:
+        raise AnalysisError(f"percentile must be in [0, 100]: {q}")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def bootstrap_ci(samples, statistic=np.mean, confidence: float = 0.95,
+                 n_resamples: int = 1000, seed: int = 0
+                 ) -> tuple[float, float, float]:
+    """Bootstrap confidence interval.
+
+    Returns:
+        (point_estimate, ci_low, ci_high).
+    """
+    x = np.asarray(samples, dtype=float)
+    if len(x) == 0:
+        raise AnalysisError("cannot bootstrap no samples")
+    if not 0 < confidence < 1:
+        raise AnalysisError(f"confidence must be in (0, 1): {confidence}")
+    rng = np.random.default_rng(seed)
+    estimates = np.array([
+        statistic(rng.choice(x, size=len(x), replace=True))
+        for _ in range(n_resamples)
+    ])
+    alpha = (1.0 - confidence) / 2.0
+    return (float(statistic(x)),
+            float(np.quantile(estimates, alpha)),
+            float(np.quantile(estimates, 1.0 - alpha)))
+
+
+def summarize(samples) -> dict[str, float]:
+    """Mean/median/p10/p90/min/max summary of a sample set."""
+    x = np.asarray(samples, dtype=float)
+    if len(x) == 0:
+        raise AnalysisError("cannot summarize no samples")
+    return {
+        "n": float(len(x)),
+        "mean": float(np.mean(x)),
+        "median": float(np.median(x)),
+        "p10": float(np.percentile(x, 10)),
+        "p90": float(np.percentile(x, 90)),
+        "min": float(np.min(x)),
+        "max": float(np.max(x)),
+        "std": float(np.std(x)),
+    }

@@ -1,0 +1,53 @@
+"""Congestion control algorithms.
+
+Loss-based (:class:`RenoCca`, :class:`NewRenoCca`, :class:`CubicCca`),
+delay-based (:class:`VegasCca`, :class:`CopaCca`), model-based
+(:class:`BbrCca`), non-reactive (:class:`CbrCca`), and the paper's
+measurement vehicle, Nimbus (:class:`NimbusCca` in
+:mod:`repro.cca.nimbus`).
+"""
+
+from .base import AckSample, CongestionControl
+from .bbr import BbrCca
+from .cbr import CbrCca
+from .copa import CopaCca
+from .cubic import CubicCca
+from .dctcp import DctcpCca
+from .filters import WindowedExtremum
+from .ledbat import LedbatCca
+from .reno import NewRenoCca, RenoCca
+from .vegas import VegasCca
+
+__all__ = [
+    "CongestionControl", "AckSample", "WindowedExtremum",
+    "RenoCca", "NewRenoCca", "CubicCca", "VegasCca", "CopaCca",
+    "BbrCca", "CbrCca", "DctcpCca", "LedbatCca", "make_cca",
+    "CCA_REGISTRY",
+]
+
+#: Factories for building CCAs by name (CLI and experiment configs).
+CCA_REGISTRY = {
+    "reno": RenoCca,
+    "newreno": NewRenoCca,
+    "cubic": CubicCca,
+    "vegas": VegasCca,
+    "copa": CopaCca,
+    "bbr": BbrCca,
+    "dctcp": DctcpCca,
+    "ledbat": LedbatCca,
+}
+
+
+def make_cca(name: str, **kwargs) -> CongestionControl:
+    """Build a CCA by registry name.
+
+    Nimbus is intentionally excluded here to avoid an import cycle with
+    :mod:`repro.core`; build it directly via
+    :class:`repro.cca.nimbus.NimbusCca`.
+    """
+    try:
+        factory = CCA_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(CCA_REGISTRY))
+        raise KeyError(f"unknown CCA {name!r}; known: {known}") from None
+    return factory(**kwargs)

@@ -1,0 +1,123 @@
+"""Congestion control algorithm (CCA) interface.
+
+The transport endpoint owns reliability (loss detection, RTO,
+retransmission); the CCA owns *how much* may be in flight and *how
+fast* it leaves.  A CCA exposes two knobs:
+
+* :attr:`CongestionControl.cwnd` -- congestion window in packets
+  (float; fractional windows matter for AIMD at small BDPs).
+* :attr:`CongestionControl.pacing_rate` -- bytes/second, or None for
+  pure window-based ACK clocking.
+
+and receives per-event callbacks with an :class:`AckSample` carrying
+the delivery-rate sample machinery rate-based CCAs (BBR, Nimbus) need.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..units import DEFAULT_MSS
+
+
+@dataclass(frozen=True)
+class AckSample:
+    """Everything a CCA may want to know about one incoming ACK.
+
+    Attributes:
+        now: arrival time of the ACK.
+        acked_bytes: payload bytes newly cumulatively acknowledged.
+        rtt: RTT sample from this ACK (None if not measurable, e.g. for
+            an ACK of a retransmitted segment).
+        min_rtt: connection's minimum RTT so far (None before the first
+            sample).
+        srtt: smoothed RTT (None before the first sample).
+        inflight_bytes: payload bytes still outstanding after this ACK.
+        delivery_rate: BBR-style delivery rate sample (bytes/second),
+            None when not computable.
+        delivery_rate_app_limited: the rate sample was taken while the
+            sender was application-limited, so it underestimates the
+            path (BBR ignores such samples for its max filter).
+        delivered_total: total payload bytes delivered so far.
+        in_recovery: the endpoint is in fast recovery.
+        ecn_echo: the ACK echoes an ECN congestion mark.
+    """
+
+    now: float
+    acked_bytes: int
+    rtt: float | None
+    min_rtt: float | None
+    srtt: float | None
+    inflight_bytes: int
+    delivery_rate: float | None
+    delivery_rate_app_limited: bool
+    delivered_total: int
+    in_recovery: bool
+    ecn_echo: bool = False
+
+
+class CongestionControl(abc.ABC):
+    """Base class for congestion control algorithms."""
+
+    #: human-readable algorithm name (subclasses override)
+    name = "base"
+
+    def __init__(self, mss: int = DEFAULT_MSS):
+        self.mss = mss
+
+    # -- knobs the endpoint reads ----------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def cwnd(self) -> float:
+        """Congestion window, in packets."""
+
+    @property
+    def pacing_rate(self) -> float | None:
+        """Pacing rate in bytes/second; None disables pacing."""
+        return None
+
+    @property
+    def allows_retransmission(self) -> bool:
+        """Whether the endpoint should provide reliability.
+
+        Unreliable senders (CBR/UDP models) return False: no
+        retransmissions and no RTO.
+        """
+        return True
+
+    # -- event callbacks ---------------------------------------------------
+
+    def on_connection_start(self, now: float) -> None:
+        """Connection established; initialize state."""
+
+    def on_ack(self, sample: AckSample) -> None:
+        """New data was cumulatively acknowledged."""
+
+    def on_dup_ack(self, now: float) -> None:
+        """A duplicate ACK arrived (before loss is declared)."""
+
+    def on_loss(self, now: float, lost_bytes: int) -> None:
+        """Loss detected via fast retransmit (entering recovery)."""
+
+    def on_recovery_exit(self, now: float) -> None:
+        """Fast recovery completed."""
+
+    def on_rto(self, now: float) -> None:
+        """Retransmission timeout fired."""
+
+    def on_packet_sent(self, now: float, bytes_sent: int,
+                       app_limited: bool) -> None:
+        """A data segment left the sender."""
+
+    # -- introspection -----------------------------------------------------
+
+    def cwnd_bytes(self) -> float:
+        """Congestion window in bytes."""
+        return self.cwnd * self.mss
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pacing = self.pacing_rate
+        pacing_str = f", pacing={pacing:.0f}B/s" if pacing else ""
+        return f"<{type(self).__name__} cwnd={self.cwnd:.2f}{pacing_str}>"

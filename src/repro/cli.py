@@ -1,0 +1,151 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``repro list`` -- show available experiments.
+* ``repro run fig3 [--out results/] [--smoke]`` -- run an experiment
+  and print its report (optionally saving CSV/JSON artifacts).
+* ``repro quicklook --cross reno`` -- probe one emulated path.
+* ``repro synth-ndt --flows 1000 --out ndt.jsonl`` -- write a synthetic
+  NDT dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+#: Reduced parameters so every experiment finishes in seconds (CI and
+#: demos); keys are experiment names, values are run() overrides.
+SMOKE_PARAMS: dict[str, dict] = {
+    "fig2": {"n_flows": 500},
+    "fig3": {"phases": None},  # filled in below to shorten phases
+    "fq_ablation": {"duration": 10.0},
+    "tbf_jitter": {"duration": 8.0, "burst_sizes_kb": (15.0, 250.0)},
+    "subpacket": {"duration": 40.0, "n_flows": 8},
+    "fairness_matrix": {"duration": 10.0,
+                        "ccas": ("reno", "cubic", "bbr")},
+    "campaign_eval": {"n_paths": 8, "duration": 15.0},
+    "access_link": {"duration": 3.0},
+    "tslp_vs_elasticity": {"duration": 12.0},
+    "bwe_isolation": {"duration": 8.0},
+    "cellular_robustness": {"duration": 20.0,
+                            "volatilities": (0.0, 0.1)},
+}
+
+
+def _smoke_overrides(name: str) -> dict:
+    params = dict(SMOKE_PARAMS.get(name, {}))
+    if name == "fig3":
+        from .traffic.mix import FIGURE3_PHASES, Phase
+        params["phases"] = tuple(Phase(p.name, 15.0)
+                                 for p in FIGURE3_PHASES)
+    return params
+
+
+def cmd_list(args) -> int:
+    """``repro list``: print the experiment registry."""
+    from .experiments import EXPERIMENTS
+    for name, fn in sorted(EXPERIMENTS.items()):
+        doc = (sys.modules[fn.__module__].__doc__ or "").strip()
+        first = doc.splitlines()[0] if doc else ""
+        print(f"{name:16s} {first}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``repro run <experiment>``: run and print one experiment."""
+    from .experiments import EXPERIMENTS
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    import inspect
+    run_fn = EXPERIMENTS[args.experiment]
+    params = _smoke_overrides(args.experiment) if args.smoke else {}
+    if args.seed is not None:
+        if "seed" in inspect.signature(run_fn).parameters:
+            params["seed"] = args.seed
+        else:
+            print(f"note: {args.experiment} takes no seed; ignoring",
+                  file=sys.stderr)
+    result = run_fn(**params)
+    print(result.text)
+    print(f"\n[{result.experiment} finished in {result.elapsed_s:.1f}s]")
+    if args.out:
+        written = result.save(args.out)
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_quicklook(args) -> int:
+    """``repro quicklook``: probe one emulated path and print verdicts."""
+    from .core.quicklook import run_quicklook
+    result = run_quicklook(cross_traffic=args.cross,
+                           duration=args.duration, seed=args.seed or 0)
+    print(f"cross traffic:     {result.cross_traffic}")
+    print(f"mean elasticity:   {result.mean_elasticity:.2f}")
+    print(f"contending:        {result.verdict} ({result.category})")
+    print(f"probe throughput:  {result.probe_throughput_mbps:.1f} Mbit/s")
+    return 0
+
+
+def cmd_synth_ndt(args) -> int:
+    """``repro synth-ndt``: write a synthetic NDT dataset as JSONL."""
+    from .ndt.synth import SyntheticNdtGenerator
+    dataset = SyntheticNdtGenerator(seed=args.seed or 0) \
+        .generate(args.flows)
+    dataset.save_jsonl(args.out)
+    print(f"wrote {len(dataset)} records to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'How I Learned to Stop Worrying "
+                     "About CCA Contention' (HotNets '23)"))
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run an experiment")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--out", help="directory for CSV/JSON artifacts")
+    p_run.add_argument("--smoke", action="store_true",
+                       help="reduced parameters, seconds not minutes")
+    p_run.add_argument("--seed", type=int)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_quick = sub.add_parser("quicklook",
+                             help="probe one emulated path")
+    p_quick.add_argument("--cross", default="reno",
+                         help="cross traffic type (reno, bbr, video, "
+                              "poisson, cbr, none)")
+    p_quick.add_argument("--duration", type=float, default=30.0)
+    p_quick.add_argument("--seed", type=int)
+    p_quick.set_defaults(fn=cmd_quicklook)
+
+    p_synth = sub.add_parser("synth-ndt",
+                             help="generate a synthetic NDT dataset")
+    p_synth.add_argument("--flows", type=int, default=9_984)
+    p_synth.add_argument("--out", default="ndt.jsonl")
+    p_synth.add_argument("--seed", type=int)
+    p_synth.set_defaults(fn=cmd_synth_ndt)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The paper's core contribution: actively measuring CCA contention.
+
+* :mod:`elasticity` -- ẑ estimation, pulse generation, FFT elasticity.
+* :mod:`probe` -- the §3.2 measurement flow (Nimbus, switching off).
+* :mod:`detector` -- elasticity -> contention verdicts.
+* :mod:`campaign` -- fleets of probes over synthetic path populations.
+* :mod:`hypothesis` -- aggregating a campaign into the paper's
+  hypothesis test.
+* :mod:`report` -- serializable result records.
+
+``probe``/``campaign``/``quicklook`` are imported lazily: they pull in
+:mod:`repro.cca.nimbus`, which itself imports :mod:`repro.core.elasticity`,
+and an eager import here would close that cycle during initialization.
+"""
+
+from .elasticity import (ElasticityEstimator, ElasticityReading,
+                         PulseGenerator, cross_traffic_estimate,
+                         elasticity_series)
+
+__all__ = [
+    "ElasticityEstimator", "ElasticityReading", "PulseGenerator",
+    "cross_traffic_estimate", "elasticity_series",
+    "ElasticityProbe", "ProbeReport",
+    "ContentionDetector", "DetectorVerdict",
+    "Campaign", "CampaignResult", "PathSpec",
+    "HypothesisEvaluation", "evaluate_hypothesis",
+]
+
+_LAZY = {
+    "ElasticityProbe": ("repro.core.probe", "ElasticityProbe"),
+    "ProbeReport": ("repro.core.probe", "ProbeReport"),
+    "ContentionDetector": ("repro.core.detector", "ContentionDetector"),
+    "DetectorVerdict": ("repro.core.detector", "DetectorVerdict"),
+    "Campaign": ("repro.core.campaign", "Campaign"),
+    "CampaignResult": ("repro.core.campaign", "CampaignResult"),
+    "PathSpec": ("repro.core.campaign", "PathSpec"),
+    "HypothesisEvaluation": ("repro.core.hypothesis",
+                             "HypothesisEvaluation"),
+    "evaluate_hypothesis": ("repro.core.hypothesis", "evaluate_hypothesis"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

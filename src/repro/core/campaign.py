@@ -1,0 +1,242 @@
+"""Measurement campaigns: fleets of elasticity probes over a synthetic
+path population.
+
+The paper proposes "a measurement technique and study to settle this
+question": point the §3.2 probe at many Internet paths and measure how
+often cross traffic is elastic.  Lacking a wide-area vantage, we sample
+paths (rate, RTT, qdisc, cross-traffic type) from configurable
+distributions, run one simulated probe per path, and aggregate -- the
+identical campaign logic a real study would run, with ground truth
+attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..qdisc.fifo import DropTailQueue
+from ..qdisc.fq import DrrFairQueue
+from ..sim.engine import Simulator
+from ..sim.network import default_buffer_packets, dumbbell
+from ..traffic.mix import CROSS_TRAFFIC_IS_ELASTIC, make_cross_traffic
+from ..units import mbps, ms
+from .detector import ContentionDetector, DetectorVerdict, confusion_counts
+from .probe import ElasticityProbe, ProbeReport
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """One sampled path.
+
+    Attributes:
+        rate_mbps: bottleneck rate.
+        rtt_ms: two-way propagation delay.
+        qdisc: "droptail" or "fq".
+        cross_traffic: a name from the cross-traffic registry.
+        buffer_multiplier: bottleneck buffer, in BDPs.
+        seed: per-path seed.
+    """
+
+    rate_mbps: float
+    rtt_ms: float
+    qdisc: str
+    cross_traffic: str
+    buffer_multiplier: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.rate_mbps <= 0 or self.rtt_ms <= 0:
+            raise ConfigError(f"invalid path spec: {self}")
+        if self.qdisc not in ("droptail", "fq"):
+            raise ConfigError(f"unknown qdisc {self.qdisc!r}")
+
+    @property
+    def truly_contending(self) -> bool:
+        """Ground truth: elastic cross traffic behind a shared FIFO.
+
+        Under per-flow fair queueing the probe is isolated, so even an
+        elastic competitor cannot contend with it for bandwidth -- the
+        paper's §2.1 argument, encoded as ground truth.
+        """
+        return (CROSS_TRAFFIC_IS_ELASTIC[self.cross_traffic]
+                and self.qdisc == "droptail")
+
+    @property
+    def isolation_masked(self) -> bool:
+        """Paths where the instrument cannot see the truth.
+
+        A backlogged elastic competitor behind per-flow FQ pins the
+        probe's delivery rate at its fair share; ẑ = μ·S/R - S then
+        mirrors the probe's own pulses and the path reads as
+        contending even though FQ -- not CCA dynamics -- decides the
+        allocation.  The §3.2 technique cannot, by itself, distinguish
+        CCA contention from fair-queue capping; a deployment of the
+        paper's study must treat such paths as a separate bucket
+        (see EXPERIMENTS.md, E7).
+        """
+        return (CROSS_TRAFFIC_IS_ELASTIC[self.cross_traffic]
+                and self.qdisc == "fq")
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """Probe outcome on one path."""
+
+    spec: PathSpec
+    report: ProbeReport
+    verdict: DetectorVerdict
+
+
+@dataclass
+class CampaignResult:
+    """All per-path results plus aggregate quality measures."""
+
+    results: list[PathResult] = field(default_factory=list)
+
+    @property
+    def fraction_contending(self) -> float:
+        """The campaign's headline number: fraction of paths where the
+        probe found contending cross traffic."""
+        if not self.results:
+            return 0.0
+        return (sum(1 for r in self.results if r.verdict.contending)
+                / len(self.results))
+
+    @property
+    def true_fraction_contending(self) -> float:
+        if not self.results:
+            return 0.0
+        return (sum(1 for r in self.results if r.spec.truly_contending)
+                / len(self.results))
+
+    def detector_quality(self, exclude_masked: bool = True
+                         ) -> dict[str, float]:
+        """Detector precision/recall/accuracy vs ground truth.
+
+        ``exclude_masked`` (default) scores only paths the instrument
+        can see (see :attr:`PathSpec.isolation_masked`); the masked
+        bucket is reported by :meth:`masked_summary`.
+        """
+        subset = [r for r in self.results
+                  if not (exclude_masked and r.spec.isolation_masked)]
+        if not subset:
+            return confusion_counts([], [])
+        return confusion_counts(
+            [r.verdict.contending for r in subset],
+            [r.spec.truly_contending for r in subset])
+
+    def masked_summary(self) -> dict[str, float]:
+        """How the isolation-masked paths (elastic cross behind FQ)
+        actually read -- documenting the instrument artifact."""
+        masked = [r for r in self.results if r.spec.isolation_masked]
+        reads_contending = sum(1 for r in masked if r.verdict.contending)
+        return {
+            "n_masked": float(len(masked)),
+            "reads_contending": float(reads_contending),
+            "fraction_reads_contending":
+                reads_contending / len(masked) if masked else 0.0,
+        }
+
+    def by_cross_traffic(self) -> dict[str, list[float]]:
+        """Mean elasticity values grouped by cross-traffic type."""
+        groups: dict[str, list[float]] = {}
+        for r in self.results:
+            groups.setdefault(r.spec.cross_traffic, []).append(
+                r.verdict.mean_elasticity)
+        return groups
+
+
+def sample_paths(n_paths: int, seed: int = 0,
+                 cross_traffic_mix: tuple[tuple[str, float], ...] = (
+                     ("none", 0.25), ("video", 0.15), ("poisson", 0.15),
+                     ("cbr", 0.10), ("reno", 0.20), ("bbr", 0.15)),
+                 fq_fraction: float = 0.3) -> list[PathSpec]:
+    """Sample a path population.
+
+    Args:
+        n_paths: how many paths.
+        cross_traffic_mix: (name, probability) pairs.
+        fq_fraction: fraction of paths with per-flow fair queueing at
+            the bottleneck (the §2.1 isolation deployment knob).
+    """
+    if n_paths <= 0:
+        raise ConfigError(f"n_paths must be positive: {n_paths}")
+    probs = [p for _, p in cross_traffic_mix]
+    if abs(sum(probs) - 1.0) > 1e-9:
+        raise ConfigError("cross_traffic_mix probabilities must sum to 1")
+    rng = np.random.default_rng(seed)
+    names = [n for n, _ in cross_traffic_mix]
+    specs = []
+    for i in range(n_paths):
+        specs.append(PathSpec(
+            rate_mbps=float(rng.choice([20, 48, 100, 200])),
+            rtt_ms=float(rng.choice([20, 50, 100, 150])),
+            qdisc="fq" if rng.random() < fq_fraction else "droptail",
+            cross_traffic=str(names[rng.choice(len(names), p=probs)]),
+            buffer_multiplier=float(rng.choice([0.5, 1.0, 2.0])),
+            seed=int(rng.integers(0, 2**31)),
+        ))
+    return specs
+
+
+def run_path(spec: PathSpec, duration: float = 30.0,
+             detector: ContentionDetector | None = None,
+             capacity_hint: bool = True) -> PathResult:
+    """Run one probe over one path."""
+    det = detector if detector is not None else ContentionDetector()
+    sim = Simulator()
+    rate = mbps(spec.rate_mbps)
+    rtt = ms(spec.rtt_ms)
+    buffer_packets = default_buffer_packets(rate, rtt,
+                                            spec.buffer_multiplier)
+    if spec.qdisc == "fq":
+        qdisc = DrrFairQueue(limit_packets=buffer_packets)
+    else:
+        qdisc = DropTailQueue(limit_packets=buffer_packets)
+    path = dumbbell(sim, rate, rtt, qdisc=qdisc)
+    probe = ElasticityProbe(
+        sim, path, capacity_hint=rate if capacity_hint else None)
+    probe.start()
+    cross = make_cross_traffic(spec.cross_traffic, sim, path, "cross",
+                               seed=spec.seed)
+    cross.start()
+    sim.run(until=duration)
+    report = probe.report()
+    verdict = det.verdict(list(report.readings))
+    return PathResult(spec=spec, report=report, verdict=verdict)
+
+
+class Campaign:
+    """A full measurement study over a sampled path population.
+
+    >>> campaign = Campaign(n_paths=10, seed=1, duration=20.0)
+    >>> result = campaign.run()            # doctest: +SKIP
+    >>> result.fraction_contending         # doctest: +SKIP
+    """
+
+    def __init__(self, n_paths: int = 40, seed: int = 0,
+                 duration: float = 30.0,
+                 detector: ContentionDetector | None = None,
+                 fq_fraction: float = 0.3,
+                 cross_traffic_mix=None):
+        kwargs = {}
+        if cross_traffic_mix is not None:
+            kwargs["cross_traffic_mix"] = cross_traffic_mix
+        self.specs = sample_paths(n_paths, seed=seed,
+                                  fq_fraction=fq_fraction, **kwargs)
+        self.duration = duration
+        self.detector = detector if detector is not None \
+            else ContentionDetector()
+
+    def run(self, progress=None) -> CampaignResult:
+        """Run every path; ``progress`` is an optional ``fn(i, n)``."""
+        results = []
+        for i, spec in enumerate(self.specs):
+            if progress is not None:
+                progress(i, len(self.specs))
+            results.append(run_path(spec, duration=self.duration,
+                                    detector=self.detector))
+        return CampaignResult(results=results)

@@ -1,0 +1,244 @@
+"""Elasticity estimation -- the paper's proposed measurement primitive.
+
+Nimbus (Goyal et al., SIGCOMM 2022 [54]) detects whether cross traffic
+is *elastic* -- i.e. adjusts its rate in response to short-term changes
+in available bandwidth -- by (1) modulating its own sending rate with
+sinusoidal pulses at a known frequency ``f_p``, (2) estimating the
+cross-traffic rate ``z(t)`` from its own send and receive rates, and
+(3) measuring how much energy ``z(t)`` carries at ``f_p``: elastic
+cross traffic reacts to the pulses (its ACK clock slows when the probe
+pulses up), imprinting the pulse frequency onto ``z``; inelastic cross
+traffic does not.
+
+This module implements the signal-processing half, independent of any
+transport so it can also run offline over recorded rate series:
+
+* :func:`cross_traffic_estimate` -- ẑ = max(0, μ·S/R - S).
+* :class:`PulseGenerator` -- the rate modulation waveform.
+* :class:`ElasticityEstimator` -- streaming FFT-based estimator.
+* :func:`elasticity_series` -- offline sliding-window analysis.
+
+The elasticity metric here is a peak-to-background ratio: the amplitude
+of ``z``'s spectrum at the pulse frequency divided by the median
+amplitude in the surrounding band.  It is scale-invariant, so errors in
+the capacity estimate μ (which rescale ẑ) do not move it -- the
+property that makes the technique usable as a *measurement tool* on
+paths with unknown capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError, ConfigError
+
+
+def cross_traffic_estimate(mu: float, send_rate: float,
+                           recv_rate: float) -> float:
+    """Nimbus cross-traffic rate estimate ẑ = max(0, μ·S/R - S).
+
+    Rationale: with a busy FIFO bottleneck of capacity μ, a flow
+    sending at S receives service R ≈ μ · S / (S + z), so
+    z ≈ μ·S/R - S.
+
+    Args:
+        mu: bottleneck capacity estimate (bytes/second).
+        send_rate: the probe's send rate S (bytes/second).
+        recv_rate: the probe's delivery rate R (bytes/second).
+    """
+    if recv_rate <= 0 or send_rate <= 0:
+        return 0.0
+    return max(0.0, mu * send_rate / recv_rate - send_rate)
+
+
+class PulseGenerator:
+    """Sinusoidal rate pulses at frequency ``frequency``.
+
+    The offset added to the base rate at time ``t`` is
+    ``amplitude_frac * mu * sin(2*pi*frequency*t)`` -- zero-mean, so
+    pulsing does not change the probe's average rate.
+
+    (Nimbus uses an asymmetric half-sine pulse to bound queue build-up;
+    a symmetric sine has the same spectral signature at ``f_p`` and
+    simplifies mean-rate reasoning.  DESIGN.md lists this as a
+    documented deviation.)
+    """
+
+    def __init__(self, frequency: float = 5.0, amplitude_frac: float = 0.25):
+        if frequency <= 0:
+            raise ConfigError(f"frequency must be positive: {frequency}")
+        if not 0 < amplitude_frac < 1:
+            raise ConfigError(
+                f"amplitude_frac must be in (0, 1): {amplitude_frac}")
+        self.frequency = frequency
+        self.amplitude_frac = amplitude_frac
+
+    def offset(self, t: float, mu: float) -> float:
+        """Rate offset (bytes/second) to add at time ``t``."""
+        return (self.amplitude_frac * mu
+                * math.sin(2.0 * math.pi * self.frequency * t))
+
+
+@dataclass(frozen=True)
+class ElasticityReading:
+    """One elasticity measurement.
+
+    Attributes:
+        time: when the window ended.
+        elasticity: peak-to-background ratio at the pulse frequency
+            (dimensionless; ~1 for inelastic, >> 1 for elastic).
+        peak_amplitude: raw |Z(f_p)| (bytes/second).
+        background_amplitude: median |Z(f)| over the comparison band.
+        mean_cross_rate: mean of ẑ over the window (bytes/second).
+    """
+
+    time: float
+    elasticity: float
+    peak_amplitude: float
+    background_amplitude: float
+    mean_cross_rate: float
+
+
+def _spectrum_elasticity(z: np.ndarray, sample_interval: float,
+                         pulse_freq: float, band: tuple[float, float],
+                         significance_floor: float = 0.0
+                         ) -> tuple[float, float, float]:
+    """Return (elasticity, peak, background) for one window of ẑ.
+
+    ``significance_floor`` is a rate amplitude (bytes/second): a cross-
+    traffic oscillation smaller than this is insignificant, so it is
+    added to the background before taking the ratio.  Without it, an
+    all-but-empty path (ẑ ~ 0 everywhere) can produce arbitrarily large
+    ratios out of numerical residue.
+    """
+    n = len(z)
+    detrended = z - z.mean()
+    windowed = detrended * np.hanning(n)
+    spectrum = np.abs(np.fft.rfft(windowed))
+    freqs = np.fft.rfftfreq(n, d=sample_interval)
+
+    # Peak: the pulse-frequency bin and its immediate neighbours (the
+    # Hann window spreads a tone over ~2 bins).
+    pulse_idx = int(np.argmin(np.abs(freqs - pulse_freq)))
+    lo = max(0, pulse_idx - 1)
+    hi = min(len(spectrum), pulse_idx + 2)
+    peak = float(spectrum[lo:hi].max())
+
+    # Background: median amplitude in the band, excluding the pulse
+    # bins (and their spread).
+    in_band = (freqs >= band[0]) & (freqs <= band[1])
+    exclude = np.zeros_like(in_band)
+    exclude[max(0, pulse_idx - 2):pulse_idx + 3] = True
+    comparison = spectrum[in_band & ~exclude]
+    if len(comparison) == 0:
+        raise AnalysisError(
+            "comparison band is empty; widen band or window")
+    background = float(np.median(comparison))
+    # A Hann-windowed sine of amplitude `a` over n samples produces an
+    # rfft peak of ~ a*n/4; convert the rate floor to spectrum units.
+    floor = significance_floor * n / 4.0
+    denom = max(background + floor, 1e-12)
+    return peak / denom, peak, background
+
+
+class ElasticityEstimator:
+    """Streaming elasticity estimator over a sliding window of ẑ samples.
+
+    Feed ẑ samples at a fixed cadence with :meth:`add_sample`; every
+    ``update_interval`` seconds (once the window is full) a new
+    :class:`ElasticityReading` is appended to :attr:`readings`.
+
+    Args:
+        pulse_freq: the probe's pulse frequency (Hz).
+        sample_interval: spacing of ẑ samples (seconds).
+        window: FFT window length (seconds); 5 s at f_p = 5 Hz gives
+            25 pulse periods per window.
+        update_interval: how often to emit a reading (seconds).
+        band: comparison band (Hz) for the background estimate.
+        significance_frac: oscillations below this fraction of
+            :attr:`scale` are insignificant (see
+            :func:`_spectrum_elasticity`); ignored while ``scale`` is 0.
+    """
+
+    def __init__(self, pulse_freq: float = 5.0,
+                 sample_interval: float = 0.01, window: float = 5.0,
+                 update_interval: float = 0.5,
+                 band: tuple[float, float] = (1.0, 12.0),
+                 significance_frac: float = 0.01):
+        if window < 4.0 / pulse_freq:
+            raise ConfigError("window must cover several pulse periods")
+        if sample_interval <= 0 or sample_interval > 1.0 / (2 * pulse_freq):
+            raise ConfigError(
+                "sample_interval must satisfy Nyquist for the pulse")
+        self.pulse_freq = pulse_freq
+        self.sample_interval = sample_interval
+        self.window_samples = int(round(window / sample_interval))
+        self.update_interval = update_interval
+        self.band = band
+        self.significance_frac = significance_frac
+        #: rate scale (bytes/second) for the significance floor; the
+        #: owner (e.g. NimbusCca) keeps this at its capacity estimate.
+        self.scale = 0.0
+        self._samples: list[float] = []
+        self._times: list[float] = []
+        self._last_update = float("-inf")
+        self.readings: list[ElasticityReading] = []
+
+    def add_sample(self, now: float, z: float) -> ElasticityReading | None:
+        """Add one ẑ sample; returns a new reading when one is emitted."""
+        self._samples.append(float(z))
+        self._times.append(now)
+        max_keep = self.window_samples
+        if len(self._samples) > max_keep:
+            del self._samples[:-max_keep]
+            del self._times[:-max_keep]
+        if (len(self._samples) < self.window_samples
+                or now - self._last_update < self.update_interval):
+            return None
+        self._last_update = now
+        z_arr = np.asarray(self._samples)
+        elasticity, peak, background = _spectrum_elasticity(
+            z_arr, self.sample_interval, self.pulse_freq, self.band,
+            significance_floor=self.significance_frac * self.scale)
+        reading = ElasticityReading(
+            time=now, elasticity=elasticity, peak_amplitude=peak,
+            background_amplitude=background,
+            mean_cross_rate=float(z_arr.mean()))
+        self.readings.append(reading)
+        return reading
+
+
+def elasticity_series(times, z_values, pulse_freq: float = 5.0,
+                      window: float = 5.0, step: float = 0.5,
+                      band: tuple[float, float] = (1.0, 12.0)
+                      ) -> list[ElasticityReading]:
+    """Offline sliding-window elasticity over a recorded ẑ series.
+
+    ``times`` must be evenly spaced; the sample interval is inferred.
+    """
+    t = np.asarray(times, dtype=float)
+    z = np.asarray(z_values, dtype=float)
+    if len(t) != len(z):
+        raise AnalysisError("times and z_values must have equal length")
+    if len(t) < 3:
+        raise AnalysisError("need at least three samples")
+    intervals = np.diff(t)
+    dt = float(np.median(intervals))
+    if np.any(np.abs(intervals - dt) > dt * 0.01):
+        raise AnalysisError("times must be evenly spaced")
+
+    win = int(round(window / dt))
+    hop = max(1, int(round(step / dt)))
+    out: list[ElasticityReading] = []
+    for end in range(win, len(z) + 1, hop):
+        seg = z[end - win:end]
+        elasticity, peak, background = _spectrum_elasticity(
+            seg, dt, pulse_freq, band)
+        out.append(ElasticityReading(
+            time=float(t[end - 1]), elasticity=elasticity,
+            peak_amplitude=peak, background_amplitude=background,
+            mean_cross_rate=float(seg.mean())))
+    return out

@@ -1,0 +1,124 @@
+"""The active measurement probe of §3.2.
+
+An :class:`ElasticityProbe` is a speedtest-style flow that runs Nimbus
+with mode switching disabled and pulses maintained, and reports the
+elasticity of whatever cross traffic shares its bottleneck.  It owns a
+transport connection on an existing path and exposes the elasticity
+time series plus summary verdicts.
+
+The probe is the tool the paper proposes pointing at many Internet
+paths to settle its hypothesis; :mod:`repro.core.campaign` runs fleets
+of them over synthetic path populations.
+
+Known sensitivity: elasticity readings degrade when the path's
+queueing delay is both large and fast-varying (very deep buffers under
+loss-based competition, or high-volatility cellular links), because
+the S(t - srtt) alignment inside ẑ smears; see E11 in EXPERIMENTS.md
+for the measured boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cca.nimbus import NimbusCca
+from ..sim.engine import Simulator
+from ..sim.network import PathHandles
+from ..tcp.endpoint import Connection
+from ..units import DEFAULT_MSS
+from .elasticity import ElasticityReading
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """Outcome of one probe run.
+
+    Attributes:
+        readings: elasticity time series.
+        mean_elasticity: mean over the (post-warmup) readings.
+        peak_elasticity: max over the readings.
+        mean_throughput: the probe's goodput (bytes/second).
+        duration: measurement duration (seconds).
+    """
+
+    readings: tuple[ElasticityReading, ...]
+    mean_elasticity: float
+    peak_elasticity: float
+    mean_throughput: float
+    duration: float
+
+    def verdict(self, threshold: float = 2.0) -> bool:
+        """True if the path showed elastic (contending) cross traffic."""
+        return self.mean_elasticity >= threshold
+
+
+class ElasticityProbe:
+    """A Nimbus measurement flow attached to a path.
+
+    Args:
+        sim: the simulator.
+        path: topology handles from a builder in :mod:`repro.sim.network`.
+        flow_id: the probe flow's identifier.
+        capacity_hint: bottleneck capacity if known (speedtest servers
+            typically learn it in a warmup phase); None auto-estimates.
+        pulse_freq / pulse_amplitude: pulse parameters.  The amplitude
+            default (0.35 of μ) is higher than deployed Nimbus's 0.25:
+            a dedicated measurement flow can afford stronger pulses,
+            and the extra drive is what makes weakly-reactive cross
+            traffic (BBRv1's smoothed pacing) visible above bursty
+            application traffic.  Calibration table in DESIGN.md.
+        warmup: seconds of readings to discard in summaries.
+        probe_mode: Nimbus base controller, "delay" (default) or "tcp".
+        min_rate_frac: starvation floor for the delay controller; the
+            0.25 default keeps the probe's pulses visible even when
+            backlogged cross traffic would otherwise squeeze it out.
+    """
+
+    def __init__(self, sim: Simulator, path: PathHandles,
+                 flow_id: str = "probe", capacity_hint: float | None = None,
+                 pulse_freq: float = 5.0, pulse_amplitude: float = 0.35,
+                 warmup: float = 6.0, mss: int = DEFAULT_MSS,
+                 probe_mode: str = "delay", min_rate_frac: float = 0.25):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.warmup = warmup
+        self.cca = NimbusCca(
+            mss=mss, capacity_hint=capacity_hint, pulse_freq=pulse_freq,
+            pulse_amplitude=pulse_amplitude, mode_switching=False,
+            fixed_mode=probe_mode, min_rate_frac=min_rate_frac)
+        self.connection = Connection(sim, path, flow_id, self.cca)
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        """Begin probing (persistently backlogged from now on)."""
+        self._started_at = self.sim.now
+        self.connection.sender.set_infinite_backlog()
+
+    @property
+    def readings(self) -> list[ElasticityReading]:
+        return self.cca.elasticity_readings
+
+    def readings_between(self, t_start: float, t_end: float
+                         ) -> list[ElasticityReading]:
+        """Readings whose window ended within [t_start, t_end)."""
+        return [r for r in self.readings if t_start <= r.time < t_end]
+
+    def report(self, t_start: float | None = None,
+               t_end: float | None = None) -> ProbeReport:
+        """Summarize the probe's measurements over a time range."""
+        started = self._started_at if self._started_at is not None else 0.0
+        lo = t_start if t_start is not None else started + self.warmup
+        hi = t_end if t_end is not None else self.sim.now
+        readings = tuple(self.readings_between(lo, hi))
+        if readings:
+            values = [r.elasticity for r in readings]
+            mean_e = sum(values) / len(values)
+            peak_e = max(values)
+        else:
+            mean_e = 0.0
+            peak_e = 0.0
+        duration = max(hi - started, 1e-9)
+        throughput = self.connection.receiver.received_bytes / duration
+        return ProbeReport(readings=readings, mean_elasticity=mean_e,
+                           peak_elasticity=peak_e,
+                           mean_throughput=throughput, duration=hi - lo)

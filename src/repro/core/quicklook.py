@@ -1,0 +1,47 @@
+"""One-call elasticity quicklook, backing :func:`repro.quicklook_elasticity`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import Simulator
+from ..sim.network import dumbbell
+from ..traffic.mix import make_cross_traffic
+from ..units import mbps, ms, to_mbps
+from .detector import ContentionDetector
+from .probe import ElasticityProbe
+
+
+@dataclass(frozen=True)
+class QuicklookResult:
+    """Summary of a single-path elasticity probe run."""
+
+    cross_traffic: str
+    mean_elasticity: float
+    verdict: bool
+    category: str
+    probe_throughput_mbps: float
+    duration: float
+
+
+def run_quicklook(cross_traffic: str = "reno", duration: float = 30.0,
+                  rate_mbps: float = 48.0, rtt_ms: float = 100.0,
+                  seed: int = 0) -> QuicklookResult:
+    """Probe one emulated path carrying ``cross_traffic``."""
+    sim = Simulator()
+    path = dumbbell(sim, mbps(rate_mbps), ms(rtt_ms))
+    probe = ElasticityProbe(sim, path, capacity_hint=mbps(rate_mbps))
+    probe.start()
+    cross = make_cross_traffic(cross_traffic, sim, path, "cross", seed=seed)
+    cross.start()
+    sim.run(until=duration)
+    report = probe.report()
+    verdict = ContentionDetector().verdict(list(report.readings))
+    return QuicklookResult(
+        cross_traffic=cross_traffic,
+        mean_elasticity=report.mean_elasticity,
+        verdict=verdict.contending,
+        category=verdict.category,
+        probe_throughput_mbps=to_mbps(report.mean_throughput),
+        duration=duration,
+    )

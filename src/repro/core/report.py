@@ -1,0 +1,61 @@
+"""Serializable result records for measurement outputs.
+
+Experiments write their rows through these helpers so every figure's
+backing data lands as CSV next to the printed output.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+
+def write_csv(path, rows: Iterable[Mapping | Sequence],
+              header: Sequence[str] | None = None) -> None:
+    """Write rows (dicts or sequences) as CSV.
+
+    Dict rows take their header from the first row's keys unless
+    ``header`` is given; sequence rows require ``header``.
+    """
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        if not rows:
+            if header:
+                csv.writer(f).writerow(header)
+            return
+        first = rows[0]
+        if isinstance(first, Mapping):
+            fields = list(header) if header else list(first.keys())
+            writer = csv.DictWriter(f, fieldnames=fields)
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(dict(row))
+        else:
+            writer = csv.writer(f)
+            if header:
+                writer.writerow(header)
+            writer.writerows(rows)
+
+
+def write_json(path, payload) -> None:
+    """Write a (possibly dataclass-bearing) payload as pretty JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    def default(obj):
+        if is_dataclass(obj) and not isinstance(obj, type):
+            return asdict(obj)
+        if hasattr(obj, "value"):  # enums
+            return obj.value
+        if hasattr(obj, "tolist"):  # numpy
+            return obj.tolist()
+        raise TypeError(f"not JSON-serializable: {type(obj)}")
+
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, default=default)
+        f.write("\n")

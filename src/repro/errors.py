@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch package failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state."""
+
+
+class ConfigError(ReproError):
+    """An experiment, component, or CLI configuration is invalid."""
+
+
+class TraceFormatError(ReproError):
+    """A Mahimahi-style link trace could not be parsed."""
+
+
+class TransportError(ReproError):
+    """A transport endpoint violated a protocol invariant."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot process."""

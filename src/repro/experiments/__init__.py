@@ -1,0 +1,41 @@
+"""Runnable reproductions of the paper's figures and ablations.
+
+==============  ===========================================================
+``fig2``        E1: the §3.1 M-Lab NDT passive pipeline (Figure 2)
+``fig3``        E2: the §3.2 elasticity proof of concept (Figure 3)
+``fq_ablation`` E3: fair queueing eliminates CCA contention (§2.1)
+``tbf_jitter``  E4: token-bucket shaping causes jitter contention (§5.2)
+``subpacket``   E5: sub-packet-BDP starvation (§2.3, Chen et al.)
+``fairness_matrix``  E6: pairwise CCA contention matrix (intro, Ware et al.)
+``campaign_eval``    E7: the proposed wide-area measurement study
+``access_link``      E8: offered load vs allocation on access links (§2.2)
+``tslp_vs_elasticity``  E9: TSLP finds congestion, not contention (§4)
+``bwe_isolation``    E10: BwE-style central allocation eliminates contention (§2.1)
+``cellular_robustness``  E11: probe robustness on variable-rate links (§2.3)
+==============  ===========================================================
+"""
+
+from . import (access_link, bwe_isolation, campaign_eval,
+               cellular_robustness, fairness_matrix, fig2, fig3,
+               fq_ablation, subpacket, tbf_jitter, tslp_vs_elasticity)
+from .runner import ExperimentResult, Stopwatch, sweep
+
+#: Experiment registry for the CLI.
+EXPERIMENTS = {
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fq_ablation": fq_ablation.run,
+    "tbf_jitter": tbf_jitter.run,
+    "subpacket": subpacket.run,
+    "fairness_matrix": fairness_matrix.run,
+    "campaign_eval": campaign_eval.run,
+    "access_link": access_link.run,
+    "tslp_vs_elasticity": tslp_vs_elasticity.run,
+    "bwe_isolation": bwe_isolation.run,
+    "cellular_robustness": cellular_robustness.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "Stopwatch", "sweep",
+           "fig2", "fig3", "fq_ablation", "tbf_jitter", "subpacket",
+           "fairness_matrix", "campaign_eval", "access_link",
+           "tslp_vs_elasticity", "bwe_isolation", "cellular_robustness"]

@@ -1,0 +1,114 @@
+"""Experiment E7: the measurement study the paper proposes.
+
+A fleet of elasticity probes over a sampled path population with known
+ground truth: how accurately does the §3.2 technique classify paths,
+and what does the campaign say about the hypothesis?  Includes the
+threshold ROC sweep DESIGN.md calls out as a design-choice ablation.
+"""
+
+from __future__ import annotations
+
+from .. import viz
+from ..core.campaign import Campaign, CampaignResult
+from ..core.detector import ContentionDetector, confusion_counts
+from ..core.hypothesis import evaluate_hypothesis
+from .runner import ExperimentResult, Stopwatch
+
+
+def _roc_rows(campaign: CampaignResult,
+              thresholds: tuple[float, ...]) -> list[dict]:
+    rows = []
+    for threshold in thresholds:
+        detector = ContentionDetector(threshold=threshold)
+        verdicts = [detector.verdict(list(r.report.readings)).contending
+                    for r in campaign.results]
+        truths = [r.spec.truly_contending for r in campaign.results]
+        quality = confusion_counts(verdicts, truths)
+        rows.append({"threshold": threshold,
+                     "precision": round(quality["precision"], 4),
+                     "recall": round(quality["recall"], 4),
+                     "accuracy": round(quality["accuracy"], 4)})
+    return rows
+
+
+def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
+        fq_fraction: float = 0.3,
+        roc_thresholds: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0, 6.0, 9.0)
+        ) -> ExperimentResult:
+    """Run the campaign and evaluate the hypothesis."""
+    with Stopwatch() as watch:
+        campaign = Campaign(n_paths=n_paths, seed=seed,
+                            duration=duration,
+                            fq_fraction=fq_fraction).run()
+        evaluation = evaluate_hypothesis(campaign)
+        roc = _roc_rows(campaign, roc_thresholds)
+        groups = campaign.by_cross_traffic()
+
+    group_rows = [{
+        "cross_traffic": name,
+        "paths": len(values),
+        "mean_elasticity": round(sum(values) / len(values), 3),
+        "max_elasticity": round(max(values), 3),
+    } for name, values in sorted(groups.items())]
+
+    path_rows = [{
+        "rate_mbps": r.spec.rate_mbps,
+        "rtt_ms": r.spec.rtt_ms,
+        "qdisc": r.spec.qdisc,
+        "cross_traffic": r.spec.cross_traffic,
+        "mean_elasticity": round(r.verdict.mean_elasticity, 3),
+        "verdict": r.verdict.contending,
+        "category": r.verdict.category,
+        "truth": r.spec.truly_contending,
+    } for r in campaign.results]
+
+    quality = campaign.detector_quality()
+    masked = campaign.masked_summary()
+    parts = [
+        f"E7: elasticity-probe campaign over {n_paths} sampled paths "
+        f"({fq_fraction:.0%} with FQ bottlenecks)",
+        "",
+        viz.table(
+            [(g["cross_traffic"], g["paths"], g["mean_elasticity"],
+              g["max_elasticity"]) for g in group_rows],
+            header=("cross traffic", "paths", "mean elasticity",
+                    "max elasticity")),
+        "",
+        f"detector (visible paths): precision={quality['precision']:.2f} "
+        f"recall={quality['recall']:.2f} "
+        f"accuracy={quality['accuracy']:.2f}",
+        f"isolation-masked paths (elastic cross behind FQ): "
+        f"{masked['n_masked']:.0f}, of which "
+        f"{masked['fraction_reads_contending']:.0%} read contending "
+        f"(the instrument cannot distinguish FQ capping from CCA "
+        f"contention; see EXPERIMENTS.md)",
+        "",
+        "Threshold ROC sweep:",
+        viz.table(
+            [(r["threshold"], r["precision"], r["recall"], r["accuracy"])
+             for r in roc],
+            header=("threshold", "precision", "recall", "accuracy")),
+        "",
+        evaluation.describe(),
+    ]
+    metrics = {
+        "fraction_contending": campaign.fraction_contending,
+        "true_fraction_contending": campaign.true_fraction_contending,
+        "detector_precision": quality["precision"],
+        "detector_recall": quality["recall"],
+        "detector_accuracy": quality["accuracy"],
+        "n_masked": masked["n_masked"],
+        "masked_reads_contending":
+            masked["fraction_reads_contending"],
+        "hypothesis_supported": 1.0 if evaluation.supported else 0.0,
+    }
+    return ExperimentResult(
+        experiment="campaign_eval",
+        text="\n".join(parts),
+        metrics=metrics,
+        tables={"paths": path_rows, "roc": roc,
+                "by_cross_traffic": group_rows},
+        params={"n_paths": n_paths, "duration": duration, "seed": seed,
+                "fq_fraction": fq_fraction},
+        elapsed_s=watch.elapsed,
+    )

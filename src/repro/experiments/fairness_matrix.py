@@ -1,0 +1,95 @@
+"""Experiment E6: the pairwise CCA contention matrix.
+
+The background the paper's introduction rests on: when flows *do*
+contend, which CCA wins is decided by CCA dynamics -- e.g. "BBR has
+been shown to take more than its long-term fair share of bandwidth when
+competing against NewReno and Cubic" (Ware et al. [2]).
+
+We race every ordered pair of CCAs on a shared DropTail bottleneck and
+report the row player's throughput share.  Expected shape: ~0.5 on the
+diagonal; BBR's rows above 0.5 against loss-based CCAs; delay-based
+CCAs (Vegas, Copa default mode) below 0.5 against loss-based ones.
+
+The default 1xBDP bottleneck is the regime where BBR's aggression
+shows; sweep ``buffer_multiplier`` upward to reproduce the deep-buffer
+reversal where loss-based CCAs out-buffer BBR's 2xBDP inflight cap.
+"""
+
+from __future__ import annotations
+
+from .. import viz
+from ..cca import CCA_REGISTRY, make_cca
+from ..sim.engine import Simulator
+from ..sim.network import dumbbell
+from ..tcp.endpoint import Connection
+from ..units import mbps, ms, to_mbps
+from .runner import ExperimentResult, Stopwatch
+
+DEFAULT_CCAS = ("reno", "cubic", "vegas", "copa", "bbr")
+
+
+def _share(cca_a: str, cca_b: str, rate_mbps: float, rtt_ms_val: float,
+           duration: float, buffer_multiplier: float) -> float:
+    sim = Simulator()
+    path = dumbbell(sim, mbps(rate_mbps), ms(rtt_ms_val),
+                    buffer_multiplier=buffer_multiplier)
+    a = Connection(sim, path, "a", make_cca(cca_a))
+    b = Connection(sim, path, "b", make_cca(cca_b))
+    a.sender.set_infinite_backlog()
+    b.sender.set_infinite_backlog()
+    sim.run(until=duration)
+    got_a = a.receiver.received_bytes
+    got_b = b.receiver.received_bytes
+    total = got_a + got_b
+    return got_a / total if total else 0.0
+
+
+def run(ccas: tuple = DEFAULT_CCAS, rate_mbps: float = 40.0,
+        rtt_ms_val: float = 40.0, duration: float = 30.0,
+        buffer_multiplier: float = 1.0) -> ExperimentResult:
+    """Build the full share matrix."""
+    with Stopwatch() as watch:
+        matrix: dict[tuple[str, str], float] = {}
+        for a in ccas:
+            for b in ccas:
+                matrix[(a, b)] = _share(a, b, rate_mbps, rtt_ms_val,
+                                        duration, buffer_multiplier)
+
+    rows = [{"cca_a": a, "cca_b": b, "share_a": round(share, 4)}
+            for (a, b), share in matrix.items()]
+    table_rows = [
+        [a] + [f"{matrix[(a, b)]:.2f}" for b in ccas]
+        for a in ccas
+    ]
+    bbr_vs_loss = [matrix[("bbr", loss)] for loss in ("reno", "cubic")
+                   if loss in ccas]
+    vegas_vs_loss = [matrix[("vegas", loss)] for loss in ("reno", "cubic")
+                     if loss in ccas]
+
+    parts = [
+        f"E6: pairwise throughput share of the ROW CCA vs the column "
+        f"CCA ({rate_mbps:.0f} Mbit/s, {rtt_ms_val:.0f} ms, "
+        f"{buffer_multiplier:.0f}x BDP DropTail, {duration:.0f} s)",
+        "",
+        viz.table(table_rows, header=("row \\ col", *ccas)),
+        "",
+        "Shape checks: BBR > 0.5 vs loss-based (Ware et al.); "
+        "delay-based < 0.5 vs loss-based.",
+    ]
+    metrics = {
+        "bbr_share_vs_loss_min": min(bbr_vs_loss) if bbr_vs_loss else 0.0,
+        "vegas_share_vs_loss_max": max(vegas_vs_loss)
+            if vegas_vs_loss else 1.0,
+    }
+    for (a, b), share in matrix.items():
+        metrics[f"share_{a}_vs_{b}"] = share
+    return ExperimentResult(
+        experiment="fairness_matrix",
+        text="\n".join(parts),
+        metrics=metrics,
+        tables={"matrix": rows},
+        params={"ccas": list(ccas), "rate_mbps": rate_mbps,
+                "duration": duration,
+                "buffer_multiplier": buffer_multiplier},
+        elapsed_s=watch.elapsed,
+    )

@@ -1,0 +1,80 @@
+"""Shared experiment scaffolding.
+
+Each experiment module exposes ``run(**params) -> ExperimentResult``;
+the CLI and benchmarks call it with defaults (or scaled-down "smoke"
+parameters).  Results carry printable text, tabular rows for CSV
+export, and a metrics dict that tests and EXPERIMENTS.md assertions key
+on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..core.report import write_csv, write_json
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform experiment output.
+
+    Attributes:
+        experiment: experiment id (e.g. "fig3").
+        text: human-readable rendering (charts + tables).
+        metrics: headline numbers, for assertions and EXPERIMENTS.md.
+        tables: named row-sets to export as CSV.
+        params: the parameters the run used.
+    """
+
+    experiment: str
+    text: str
+    metrics: dict[str, float]
+    tables: dict[str, list[Mapping]] = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def save(self, out_dir: str | Path) -> list[Path]:
+        """Write text, metrics, and CSV tables under ``out_dir``."""
+        out = Path(out_dir) / self.experiment
+        out.mkdir(parents=True, exist_ok=True)
+        written = []
+        text_path = out / "report.txt"
+        text_path.write_text(self.text + "\n")
+        written.append(text_path)
+        metrics_path = out / "metrics.json"
+        write_json(metrics_path, {"experiment": self.experiment,
+                                  "params": self.params,
+                                  "metrics": self.metrics,
+                                  "elapsed_s": self.elapsed_s})
+        written.append(metrics_path)
+        for name, rows in self.tables.items():
+            csv_path = out / f"{name}.csv"
+            write_csv(csv_path, rows)
+            written.append(csv_path)
+        return written
+
+
+class Stopwatch:
+    """Context manager timing an experiment run."""
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+
+def sweep(values: Sequence, run_fn, label: str = "value") -> list[dict]:
+    """Run ``run_fn(v)`` for each value, collecting metric rows."""
+    rows = []
+    for v in values:
+        result = run_fn(v)
+        row = {label: v}
+        row.update(result.metrics)
+        rows.append(row)
+    return rows

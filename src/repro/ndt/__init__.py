@@ -1,0 +1,20 @@
+"""M-Lab NDT substrate: schema, synthetic population, collection, and
+the §3.1 passive analysis pipeline."""
+
+from .collect import NdtCollector
+from .filters import (FlowCategory, categorize, infer_cellular,
+                      is_app_limited, is_rwnd_limited)
+from .pipeline import Fig2Result, FlowAnalysis, analyse_flow, run_pipeline
+from .schema import ACCESS_TYPES, NdtDataset, NdtRecord
+from .synth import (DEFAULT_ACCESS_MIX, DEFAULT_PLAN_MIX, PopulationModel,
+                    SyntheticNdtGenerator)
+
+__all__ = [
+    "NdtRecord", "NdtDataset", "ACCESS_TYPES",
+    "PopulationModel", "SyntheticNdtGenerator",
+    "DEFAULT_PLAN_MIX", "DEFAULT_ACCESS_MIX",
+    "FlowCategory", "categorize", "is_app_limited", "is_rwnd_limited",
+    "infer_cellular",
+    "run_pipeline", "analyse_flow", "Fig2Result", "FlowAnalysis",
+    "NdtCollector",
+]

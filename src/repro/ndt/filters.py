@@ -1,0 +1,76 @@
+"""§3.1 flow filters.
+
+"We attempt to remove flows from the dataset that we know were unlikely
+to have experienced contention: application- or receiver-limited flows
+and flows we infer to use cellular links.  [...] We categorized flows
+as application-limited if the AppLimited field was greater than zero,
+and similarly we categorized a flow as receiver-limited if the
+RWndLimited field was greater than zero."
+
+Filters use only fields observable in real NDT data (never the
+synthetic ground truth), so the pipeline exercises exactly the
+inference the paper performs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .schema import NdtRecord
+
+
+class FlowCategory(enum.Enum):
+    """§3.1 categorization of an NDT flow."""
+
+    APP_LIMITED = "app_limited"
+    RWND_LIMITED = "rwnd_limited"
+    CELLULAR = "cellular"
+    REMAINING = "remaining"
+
+
+def is_app_limited(record: NdtRecord) -> bool:
+    """AppLimited > 0, per §3.1."""
+    return record.app_limited_us > 0
+
+
+def is_rwnd_limited(record: NdtRecord) -> bool:
+    """RWndLimited > 0, per §3.1."""
+    return record.rwnd_limited_us > 0
+
+
+def infer_cellular(record: NdtRecord,
+                   variability_threshold: float = 0.25) -> bool:
+    """Infer a cellular/satellite path.
+
+    M-Lab infers access type from client network metadata; we use that
+    tag when present and fall back to a throughput-variability
+    heuristic (cellular links show large short-term rate variance even
+    when saturated) -- the kind of inference §3.1 alludes to.
+    """
+    if record.access_type in ("cellular", "satellite"):
+        return True
+    series = record.throughput_series()
+    # Judge the steady tail: the first quarter of any TCP test is slow
+    # start and loss recovery, which looks wild on every access type.
+    tail = series[len(series) // 4:]
+    if len(tail) < 4:
+        return False
+    mean = tail.mean()
+    if mean <= 0:
+        return False
+    # Coefficient of variation of short-term differences.
+    cv = float(np.std(np.diff(tail))) / mean
+    return cv > variability_threshold
+
+
+def categorize(record: NdtRecord) -> FlowCategory:
+    """Apply the §3.1 filters in the paper's order."""
+    if is_app_limited(record):
+        return FlowCategory.APP_LIMITED
+    if is_rwnd_limited(record):
+        return FlowCategory.RWND_LIMITED
+    if infer_cellular(record):
+        return FlowCategory.CELLULAR
+    return FlowCategory.REMAINING

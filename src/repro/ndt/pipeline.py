@@ -1,0 +1,141 @@
+"""The §3.1 passive-measurement pipeline (Figure 2).
+
+Filter app-limited / receiver-limited / cellular flows, then search the
+remaining flows' throughput snapshots for level shifts that *might*
+indicate CCA contention.  Because our dataset carries ground truth, the
+pipeline also reports how good this passive inference actually is --
+the question the paper raises when it notes passive approaches "cannot
+conclusively determine the presence (or absence) of CCA contention".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.changepoint import throughput_level_shift
+from ..analysis.stats import Cdf
+from .filters import FlowCategory, categorize
+from .schema import NdtDataset, NdtRecord
+
+
+@dataclass(frozen=True)
+class FlowAnalysis:
+    """Pipeline outcome for one flow."""
+
+    uuid: str
+    category: FlowCategory
+    num_level_shifts: int
+    mean_throughput_bps: float
+    inferred_contention: bool
+    true_contention: bool
+    true_class: str
+
+
+@dataclass
+class Fig2Result:
+    """Aggregate results backing Figure 2.
+
+    Attributes:
+        total: number of flows analysed.
+        counts: flows per §3.1 category.
+        remaining_with_shifts: remaining flows showing >= 1 level shift.
+        flows: per-flow analyses.
+    """
+
+    total: int
+    counts: dict[FlowCategory, int]
+    remaining_with_shifts: int
+    flows: list[FlowAnalysis] = field(default_factory=list)
+
+    # -- headline fractions ---------------------------------------------------
+
+    def fraction(self, category: FlowCategory) -> float:
+        return self.counts.get(category, 0) / self.total if self.total else 0.0
+
+    @property
+    def fraction_filtered(self) -> float:
+        """Flows removed by the §3.1 filters."""
+        return 1.0 - self.fraction(FlowCategory.REMAINING)
+
+    @property
+    def fraction_possible_contention(self) -> float:
+        """Flows that survive filtering AND show a level shift -- the
+        paper's upper bound on passively-visible contention."""
+        return self.remaining_with_shifts / self.total if self.total else 0.0
+
+    def throughput_cdf(self, category: FlowCategory | None = None) -> Cdf:
+        samples = [f.mean_throughput_bps for f in self.flows
+                   if category is None or f.category is category]
+        return Cdf.from_samples(samples)
+
+    # -- ground-truth validation (synthetic datasets only) ----------------------
+
+    def detector_quality(self) -> dict[str, float]:
+        """Precision/recall of "level shift => contention" on the
+        remaining flows, measured against synthetic ground truth."""
+        remaining = [f for f in self.flows
+                     if f.category is FlowCategory.REMAINING]
+        tp = sum(1 for f in remaining
+                 if f.inferred_contention and f.true_contention)
+        fp = sum(1 for f in remaining
+                 if f.inferred_contention and not f.true_contention)
+        fn = sum(1 for f in remaining
+                 if not f.inferred_contention and f.true_contention)
+        missed_by_filters = sum(
+            1 for f in self.flows if f.true_contention
+            and f.category is not FlowCategory.REMAINING)
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        return {
+            "true_positives": float(tp),
+            "false_positives": float(fp),
+            "false_negatives": float(fn),
+            "precision": precision,
+            "recall": recall,
+            "contending_flows_lost_to_filters": float(missed_by_filters),
+        }
+
+    def summary_rows(self) -> list[tuple[str, int, float]]:
+        """(category, count, fraction) rows for the Figure 2 table."""
+        rows = [(cat.value, self.counts.get(cat, 0), self.fraction(cat))
+                for cat in FlowCategory]
+        rows.append(("remaining_with_level_shift",
+                     self.remaining_with_shifts,
+                     self.fraction_possible_contention))
+        return rows
+
+
+def analyse_flow(record: NdtRecord,
+                 min_relative_shift: float = 0.25) -> FlowAnalysis:
+    """Run the §3.1 analysis on one flow."""
+    category = categorize(record)
+    shifts = 0
+    if category is FlowCategory.REMAINING:
+        result = throughput_level_shift(
+            record.throughput_series(),
+            min_relative_shift=min_relative_shift)
+        shifts = result.num_changes
+    return FlowAnalysis(
+        uuid=record.uuid,
+        category=category,
+        num_level_shifts=shifts,
+        mean_throughput_bps=record.mean_throughput_bps,
+        inferred_contention=shifts > 0,
+        true_contention=record.true_contention,
+        true_class=record.true_class,
+    )
+
+
+def run_pipeline(dataset: NdtDataset,
+                 min_relative_shift: float = 0.25) -> Fig2Result:
+    """Run the full §3.1 pipeline over a dataset."""
+    flows = [analyse_flow(r, min_relative_shift) for r in dataset.records]
+    counts: dict[FlowCategory, int] = {}
+    for f in flows:
+        counts[f.category] = counts.get(f.category, 0) + 1
+    remaining_with_shifts = sum(
+        1 for f in flows
+        if f.category is FlowCategory.REMAINING and f.inferred_contention)
+    return Fig2Result(total=len(flows), counts=counts,
+                      remaining_with_shifts=remaining_with_shifts,
+                      flows=flows)

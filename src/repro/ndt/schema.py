@@ -1,0 +1,130 @@
+"""M-Lab NDT record schema.
+
+M-Lab's NDT (network diagnostic test) archives one row per measurement
+with periodic Linux ``TCPInfo`` snapshots.  The paper's §3.1 queries a
+month of these rows and keys on a handful of fields; we model exactly
+those, reusing :class:`repro.tcp.tcp_info.TcpInfoSnapshot` as the
+snapshot type so records collected from our simulator and records
+synthesized by :mod:`repro.ndt.synth` are interchangeable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..tcp.tcp_info import TcpInfoSnapshot
+
+#: Client access technologies; "cellular" is what §3.1 tries to infer
+#: and exclude.
+ACCESS_TYPES = ("fiber", "cable", "dsl", "wifi", "cellular", "satellite")
+
+
+@dataclass(frozen=True)
+class NdtRecord:
+    """One NDT measurement (one flow).
+
+    Attributes:
+        uuid: measurement identifier.
+        duration_s: test duration.
+        access_type: client access technology (M-Lab infers this from
+            the client network; we carry it as metadata).
+        access_rate_bps: provisioned access rate (ground truth in
+            synthetic data; unknown, 0, in collected data).
+        snapshots: TCPInfo snapshot stream, in time order.
+        true_class: hidden ground-truth behaviour label (synthetic data
+            only, for validating the pipeline; empty otherwise).
+        true_contention: ground truth: did another flow's CCA actually
+            contend with this one (synthetic only).
+    """
+
+    uuid: str
+    duration_s: float
+    access_type: str
+    access_rate_bps: float
+    snapshots: tuple[TcpInfoSnapshot, ...]
+    true_class: str = ""
+    true_contention: bool = False
+
+    def __post_init__(self):
+        if self.access_type not in ACCESS_TYPES:
+            raise AnalysisError(
+                f"unknown access type {self.access_type!r}")
+        if len(self.snapshots) < 2:
+            raise AnalysisError("a record needs at least two snapshots")
+
+    # -- §3.1 observable fields -------------------------------------------
+
+    @property
+    def final(self) -> TcpInfoSnapshot:
+        return self.snapshots[-1]
+
+    @property
+    def app_limited_us(self) -> float:
+        """The AppLimited field §3.1 filters on (> 0 means limited)."""
+        return self.final.app_limited_us
+
+    @property
+    def rwnd_limited_us(self) -> float:
+        """The RWndLimited field §3.1 filters on."""
+        return self.final.rwnd_limited_us
+
+    @property
+    def mean_throughput_bps(self) -> float:
+        elapsed = self.final.elapsed_time_us / 1e6
+        if elapsed <= 0:
+            return 0.0
+        return self.final.bytes_acked / elapsed
+
+    def throughput_series(self) -> np.ndarray:
+        """Per-interval throughput (bytes/second) between snapshots."""
+        acked = np.array([s.bytes_acked for s in self.snapshots],
+                         dtype=float)
+        times = np.array([s.elapsed_time_us for s in self.snapshots],
+                         dtype=float) / 1e6
+        dt = np.diff(times)
+        if np.any(dt <= 0):
+            raise AnalysisError(f"{self.uuid}: snapshots not increasing")
+        return np.diff(acked) / dt
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NdtRecord":
+        payload = json.loads(text)
+        snapshots = tuple(TcpInfoSnapshot(**s)
+                          for s in payload.pop("snapshots"))
+        return cls(snapshots=snapshots, **payload)
+
+
+@dataclass
+class NdtDataset:
+    """A collection of NDT records plus provenance."""
+
+    records: list[NdtRecord] = field(default_factory=list)
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def save_jsonl(self, path) -> None:
+        with open(path, "w") as f:
+            for record in self.records:
+                f.write(record.to_json() + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path, description: str = "") -> "NdtDataset":
+        records = []
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    records.append(NdtRecord.from_json(line))
+        return cls(records=records, description=description)

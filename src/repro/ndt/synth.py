@@ -1,0 +1,260 @@
+"""Synthetic M-Lab NDT population.
+
+The execution environment has no BigQuery access, so we substitute a
+population model for the paper's one-month, 9,984-flow NDT query
+(June 2023).  The model is calibrated to the measurement literature the
+paper leans on:
+
+* Araújo et al. (INFOCOM '14) [33]: "less than 40% of traffic was
+  neither application-, host-, nor receiver-limited" -- so well over
+  half the flows must be filtered by §3.1's app/receiver-limited rules.
+* Flach et al. (SIGCOMM '16) [16]: traffic policing on ~7% of paths.
+* §2.2: cellular is a large, variable-rate slice that §3.1 infers and
+  removes.
+
+Because the data is synthetic, each record carries hidden ground truth
+(`true_class`, `true_contention`), letting experiments *validate* the
+passive pipeline -- something the paper itself could not do.
+
+Behaviour classes (defaults in :class:`PopulationModel`):
+
+=================  ====================================================
+``app_limited``     sender pauses (application pattern); AppLimited > 0
+``rwnd_limited``    receive window caps throughput; RWndLimited > 0
+``bulk_clean``      saturates the access link for the whole test
+``bulk_contended``  a competing flow arrives/leaves mid-test: the
+                    throughput level genuinely shifts (CCA contention)
+``policed``         token-bucket policer: high burst rate, then a hard
+                    drop to the policed rate -- a level shift *without*
+                    contention (the §3.1 confounder)
+=================  ====================================================
+
+Cellular/satellite access adds random-walk rate variability on top of
+any class, which is why §3.1 removes those flows first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim.rng import RngRegistry
+from ..tcp.tcp_info import TcpInfoSnapshot
+from ..units import mbps
+from .schema import NdtDataset, NdtRecord
+
+#: Access-plan mix: (rate in Mbit/s, probability), loosely following
+#: the US broadband plan spread reported by Paul et al. [15].
+DEFAULT_PLAN_MIX = (
+    (25.0, 0.10), (50.0, 0.15), (100.0, 0.30), (200.0, 0.20),
+    (500.0, 0.15), (940.0, 0.10),
+)
+
+DEFAULT_ACCESS_MIX = (
+    ("cable", 0.30), ("fiber", 0.25), ("dsl", 0.10),
+    ("wifi", 0.10), ("cellular", 0.22), ("satellite", 0.03),
+)
+
+
+@dataclass(frozen=True)
+class PopulationModel:
+    """Tunable parameters of the synthetic flow population."""
+
+    class_mix: tuple[tuple[str, float], ...] = (
+        ("app_limited", 0.45),
+        ("rwnd_limited", 0.14),
+        ("bulk_clean", 0.24),
+        ("bulk_contended", 0.10),
+        ("policed", 0.07),
+    )
+    plan_mix: tuple[tuple[float, float], ...] = DEFAULT_PLAN_MIX
+    access_mix: tuple[tuple[str, float], ...] = DEFAULT_ACCESS_MIX
+    test_duration: float = 10.0
+    snapshot_interval: float = 0.25
+    throughput_noise: float = 0.04     # relative per-snapshot noise
+    cellular_volatility: float = 0.25  # random-walk sigma per sqrt(s)
+
+    def __post_init__(self):
+        for mix_name in ("class_mix", "plan_mix", "access_mix"):
+            probs = [p for _, p in getattr(self, mix_name)]
+            if abs(sum(probs) - 1.0) > 1e-9:
+                raise ConfigError(f"{mix_name} probabilities must sum to 1")
+
+
+def _choice(rng: np.random.Generator, mix):
+    values = [v for v, _ in mix]
+    probs = [p for _, p in mix]
+    idx = rng.choice(len(values), p=probs)
+    return values[idx]
+
+
+@dataclass
+class _FlowPlan:
+    """Intermediate per-flow draw before rendering snapshots."""
+
+    access_type: str
+    access_rate: float       # bytes/second
+    behaviour: str
+    min_rtt: float
+    contention: bool = False
+    rate_fn: object = None   # fn(t) -> goodput bytes/s
+    app_limited_frac: float = 0.0
+    rwnd_limited_frac: float = 0.0
+
+
+class SyntheticNdtGenerator:
+    """Generate an :class:`NdtDataset` from a :class:`PopulationModel`.
+
+    >>> gen = SyntheticNdtGenerator(seed=1)
+    >>> ds = gen.generate(100)
+    >>> len(ds)
+    100
+    """
+
+    def __init__(self, model: PopulationModel | None = None, seed: int = 0):
+        self.model = model if model is not None else PopulationModel()
+        self.rngs = RngRegistry(seed)
+
+    # -- per-class rate shapes ----------------------------------------------
+
+    def _plan_flow(self, rng: np.random.Generator) -> _FlowPlan:
+        m = self.model
+        access_type = _choice(rng, m.access_mix)
+        if access_type == "cellular":
+            rate = mbps(float(rng.uniform(5, 150)))
+        elif access_type == "satellite":
+            rate = mbps(float(rng.uniform(20, 200)))
+        else:
+            rate = mbps(float(_choice(rng, m.plan_mix)))
+        behaviour = _choice(rng, m.class_mix)
+        min_rtt = float(rng.lognormal(np.log(0.030), 0.6))
+        min_rtt = min(max(min_rtt, 0.004), 0.4)
+        plan = _FlowPlan(access_type=access_type, access_rate=rate,
+                         behaviour=behaviour, min_rtt=min_rtt)
+        builder = getattr(self, f"_build_{behaviour}")
+        builder(plan, rng)
+        return plan
+
+    def _build_app_limited(self, plan: _FlowPlan,
+                           rng: np.random.Generator) -> None:
+        demand = plan.access_rate * float(rng.uniform(0.05, 0.6))
+        plan.rate_fn = lambda t: demand
+        plan.app_limited_frac = float(rng.uniform(0.2, 0.9))
+
+    def _build_rwnd_limited(self, plan: _FlowPlan,
+                            rng: np.random.Generator) -> None:
+        # Throughput capped at rwnd / rtt, below the access rate.
+        cap = plan.access_rate * float(rng.uniform(0.1, 0.7))
+        plan.rate_fn = lambda t: cap
+        plan.rwnd_limited_frac = float(rng.uniform(0.3, 0.95))
+
+    def _build_bulk_clean(self, plan: _FlowPlan,
+                          rng: np.random.Generator) -> None:
+        level = plan.access_rate * float(rng.uniform(0.9, 0.97))
+        plan.rate_fn = lambda t: level
+
+    def _build_bulk_contended(self, plan: _FlowPlan,
+                              rng: np.random.Generator) -> None:
+        # A competing flow arrives (and possibly leaves): the NDT flow
+        # drops to a contended share, then maybe recovers.
+        m = self.model
+        full = plan.access_rate * float(rng.uniform(0.9, 0.97))
+        share = full * float(rng.uniform(0.35, 0.65))
+        t_in = float(rng.uniform(0.15, 0.6)) * m.test_duration
+        leaves = rng.random() < 0.4
+        t_out = t_in + float(rng.uniform(0.25, 0.8)) \
+            * (m.test_duration - t_in)
+        plan.contention = True
+
+        def rate(t, full=full, share=share, t_in=t_in,
+                 leaves=leaves, t_out=t_out):
+            if t < t_in:
+                return full
+            if leaves and t >= t_out:
+                return full
+            return share
+
+        plan.rate_fn = rate
+
+    def _build_policed(self, plan: _FlowPlan,
+                       rng: np.random.Generator) -> None:
+        # Flach-style policer: line rate until the bucket empties, then
+        # a hard drop to the policed rate.  A level shift with NO
+        # contention.
+        m = self.model
+        policed = plan.access_rate * float(rng.uniform(0.1, 0.4))
+        burst_until = float(rng.uniform(0.1, 0.4)) * m.test_duration
+
+        def rate(t, full=plan.access_rate * 0.95, policed=policed,
+                 burst_until=burst_until):
+            return full if t < burst_until else policed
+
+        plan.rate_fn = rate
+
+    # -- rendering -----------------------------------------------------------
+
+    def _render(self, plan: _FlowPlan, uuid: str,
+                rng: np.random.Generator) -> NdtRecord:
+        m = self.model
+        n = int(round(m.test_duration / m.snapshot_interval))
+        times = (np.arange(n) + 1) * m.snapshot_interval
+
+        # Cellular/satellite rate variability multiplies the base shape.
+        wobble = np.ones(n)
+        if plan.access_type in ("cellular", "satellite"):
+            steps = rng.normal(0.0, m.cellular_volatility
+                               * np.sqrt(m.snapshot_interval), n)
+            wobble = np.exp(np.cumsum(steps))
+            wobble /= wobble.mean()
+
+        inst = np.array([plan.rate_fn(t) for t in times]) * wobble
+        inst *= 1.0 + rng.normal(0.0, m.throughput_noise, n)
+        inst = np.maximum(inst, 1000.0)
+
+        acked = np.cumsum(inst * m.snapshot_interval).astype(int)
+        busy_frac = 1.0
+        app_frac = plan.app_limited_frac
+        rwnd_frac = plan.rwnd_limited_frac
+
+        snapshots = []
+        srtt = plan.min_rtt * float(rng.uniform(1.05, 1.8))
+        for i in range(n):
+            elapsed = times[i]
+            snapshots.append(TcpInfoSnapshot(
+                elapsed_time_us=elapsed * 1e6,
+                bytes_acked=int(acked[i]),
+                bytes_sent=int(acked[i] * 1.01),
+                bytes_retrans=int(acked[i] * 0.002),
+                busy_time_us=elapsed * busy_frac * 1e6,
+                rwnd_limited_us=elapsed * rwnd_frac * 1e6,
+                app_limited_us=elapsed * app_frac * 1e6,
+                cwnd_limited_us=0.0,
+                min_rtt_s=plan.min_rtt,
+                smoothed_rtt_s=srtt,
+                throughput_bps=float(inst[i]),
+                retransmits=int(acked[i] * 0.002 / 1448),
+            ))
+        return NdtRecord(
+            uuid=uuid, duration_s=m.test_duration,
+            access_type=plan.access_type,
+            access_rate_bps=plan.access_rate,
+            snapshots=tuple(snapshots),
+            true_class=plan.behaviour,
+            true_contention=plan.contention,
+        )
+
+    def generate(self, n_flows: int) -> NdtDataset:
+        """Generate ``n_flows`` records (the paper used 9,984)."""
+        if n_flows <= 0:
+            raise ConfigError(f"n_flows must be positive: {n_flows}")
+        rng = self.rngs.stream("population")
+        records = [
+            self._render(self._plan_flow(rng), f"synth-{i:06d}", rng)
+            for i in range(n_flows)
+        ]
+        return NdtDataset(
+            records=records,
+            description=(f"synthetic NDT population, n={n_flows}, "
+                         f"seed={self.rngs.seed}"))

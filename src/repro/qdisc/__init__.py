@@ -1,0 +1,30 @@
+"""Queue disciplines: the in-network bandwidth-management toolbox.
+
+The paper argues (§2.1) that these mechanisms -- not CCA dynamics --
+determine bandwidth allocations on the modern Internet.  This package
+implements the ones the paper discusses:
+
+* :class:`DropTailQueue` -- the default FIFO everyone contends inside.
+* :class:`RedQueue` / :class:`CoDelQueue` -- AQM variants.
+* :class:`DrrFairQueue` / :class:`StochasticFairQueue` -- fair queueing,
+  which "would entirely eliminate the role of CCA dynamics".
+* :class:`TokenBucketFilter` -- shaping (queues excess traffic).
+* :class:`Policer` -- policing (drops excess traffic; Flach et al.).
+* :class:`HtbQueue` -- hierarchical per-user plans (assured rate + ceiling).
+"""
+
+from .base import Qdisc
+from .codel import CoDelQueue
+from .fifo import DropTailQueue
+from .fq import DrrFairQueue, by_flow, by_user
+from .htb import HtbClass, HtbQueue
+from .policer import Policer
+from .red import RedQueue
+from .sfq import StochasticFairQueue
+from .tbf import TokenBucketFilter
+
+__all__ = [
+    "Qdisc", "DropTailQueue", "RedQueue", "CoDelQueue",
+    "DrrFairQueue", "StochasticFairQueue", "by_flow", "by_user",
+    "TokenBucketFilter", "Policer", "HtbClass", "HtbQueue",
+]

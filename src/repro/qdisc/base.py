@@ -1,0 +1,72 @@
+"""Queue discipline (qdisc) interface.
+
+A qdisc sits at a link's egress.  The link calls :meth:`Qdisc.enqueue`
+when a packet arrives and :meth:`Qdisc.dequeue` whenever it is ready to
+transmit.  Qdiscs never own the clock; the current time is passed in so
+the same object can be unit-tested without a simulator.
+
+Drop and mark counters are maintained uniformly here so experiments can
+read loss statistics off any discipline.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..sim.packet import Packet
+
+
+class Qdisc(abc.ABC):
+    """Abstract egress queue discipline."""
+
+    def __init__(self):
+        self.drops = 0
+        self.dropped_bytes = 0
+        self.marks = 0
+        self.enqueued = 0
+        #: Optional observer invoked as ``fn(packet, now)`` on every drop.
+        self.on_drop: Optional[Callable[[Packet, float], None]] = None
+
+    @abc.abstractmethod
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Offer ``packet`` to the queue.  Returns False if dropped."""
+
+    @abc.abstractmethod
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the next packet to transmit, if any."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of packets currently queued."""
+
+    @property
+    @abc.abstractmethod
+    def byte_length(self) -> int:
+        """Bytes currently queued."""
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        """Earliest time a queued packet may become transmittable.
+
+        Rate-gated disciplines (token buckets) can hold packets even
+        though the link is idle; they override this so the link knows
+        when to poll again.  ``None`` means "whenever a packet arrives".
+        """
+        return None
+
+    # -- helpers for subclasses -----------------------------------------
+
+    def _record_drop(self, packet: Packet, now: float) -> None:
+        self.drops += 1
+        self.dropped_bytes += packet.size
+        if self.on_drop is not None:
+            self.on_drop(packet, now)
+
+    def _record_mark(self) -> None:
+        self.marks += 1
+
+    def _record_enqueue(self) -> None:
+        self.enqueued += 1

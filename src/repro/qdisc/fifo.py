@@ -1,0 +1,71 @@
+"""DropTail FIFO queue -- the Internet's default discipline.
+
+Limits may be expressed in packets, bytes, or both; an arriving packet
+that would exceed either limit is dropped (tail drop).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..errors import ConfigError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..sim.packet import Packet
+from .base import Qdisc
+
+
+class DropTailQueue(Qdisc):
+    """Tail-drop FIFO with packet and/or byte limits.
+
+    Args:
+        limit_packets: maximum queued packets (None = unlimited).
+        limit_bytes: maximum queued bytes (None = unlimited).
+
+    At least one limit must be set: an unbounded bottleneck queue makes
+    loss-based CCAs fill memory forever.
+    """
+
+    def __init__(self, limit_packets: int | None = None,
+                 limit_bytes: int | None = None):
+        super().__init__()
+        if limit_packets is None and limit_bytes is None:
+            raise ConfigError("DropTailQueue needs a packet or byte limit")
+        if limit_packets is not None and limit_packets <= 0:
+            raise ConfigError(f"limit_packets must be positive: {limit_packets}")
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ConfigError(f"limit_bytes must be positive: {limit_bytes}")
+        self.limit_packets = limit_packets
+        self.limit_bytes = limit_bytes
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self.limit_packets is not None and len(self._queue) >= self.limit_packets:
+            self._record_drop(packet, now)
+            return False
+        if (self.limit_bytes is not None
+                and self._bytes + packet.size > self.limit_bytes):
+            self._record_drop(packet, now)
+            return False
+        packet.enqueue_time = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self._record_enqueue()
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes

@@ -1,0 +1,151 @@
+"""Random Early Detection (RED) with optional ECN marking.
+
+Implements the classic Floyd/Jacobson gentle-RED variant: the average
+queue size is an EWMA over instantaneous occupancy (with idle-time
+compensation), and the drop/mark probability ramps linearly from 0 at
+``min_thresh`` to ``max_p`` at ``max_thresh``, then to 1 at
+``2 * max_thresh``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..sim.packet import Packet
+from .base import Qdisc
+
+
+class RedQueue(Qdisc):
+    """Gentle RED queue, thresholds expressed in packets.
+
+    Args:
+        min_thresh / max_thresh: EWMA-occupancy thresholds (packets).
+        limit_packets: hard tail-drop limit.
+        max_p: drop probability at ``max_thresh``.
+        weight: EWMA weight for the average queue size.
+        ecn: mark ECN-capable packets instead of dropping them (drops
+            still happen above the hard limit or for non-ECN packets).
+        mean_packet_size: used to convert idle time into virtual
+            departures when updating the average across idle periods.
+        seed: seed for the internal drop-decision RNG.
+    """
+
+    def __init__(self, min_thresh: float, max_thresh: float,
+                 limit_packets: int, max_p: float = 0.1,
+                 weight: float = 0.002, ecn: bool = False,
+                 mean_packet_size: int = 1500, seed: int = 0):
+        super().__init__()
+        if not 0 < min_thresh < max_thresh <= limit_packets:
+            raise ConfigError(
+                "need 0 < min_thresh < max_thresh <= limit_packets, got "
+                f"{min_thresh}, {max_thresh}, {limit_packets}")
+        if not 0 < max_p <= 1:
+            raise ConfigError(f"max_p must be in (0, 1]: {max_p}")
+        self.min_thresh = min_thresh
+        self.max_thresh = max_thresh
+        self.limit_packets = limit_packets
+        self.max_p = max_p
+        self.weight = weight
+        self.ecn = ecn
+        self.mean_packet_size = mean_packet_size
+        self._rng = np.random.default_rng(seed)
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+        self._avg = 0.0
+        self._count_since_mark = -1
+        self._idle_since: float | None = 0.0
+        self._service_rate_hint = 0.0
+
+    def set_service_rate_hint(self, rate_bytes_per_s: float) -> None:
+        """Tell RED the link rate so idle periods decay the average."""
+        self._service_rate_hint = rate_bytes_per_s
+
+    def _update_average(self, now: float) -> None:
+        if self._queue:
+            self._avg += self.weight * (len(self._queue) - self._avg)
+            return
+        # Queue idle: decay the average by the number of packets the link
+        # could have sent while idle (standard RED idle adjustment).
+        if self._idle_since is not None and self._service_rate_hint > 0:
+            idle = max(0.0, now - self._idle_since)
+            virtual = idle * self._service_rate_hint / self.mean_packet_size
+            self._avg *= (1.0 - self.weight) ** virtual
+        else:
+            self._avg += self.weight * (0.0 - self._avg)
+
+    def _drop_probability(self) -> float:
+        if self._avg < self.min_thresh:
+            return 0.0
+        if self._avg < self.max_thresh:
+            frac = (self._avg - self.min_thresh) / (self.max_thresh - self.min_thresh)
+            return frac * self.max_p
+        if self._avg < 2 * self.max_thresh:
+            # "Gentle" region: ramp from max_p to 1.
+            frac = (self._avg - self.max_thresh) / self.max_thresh
+            return self.max_p + frac * (1.0 - self.max_p)
+        return 1.0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        self._update_average(now)
+        self._idle_since = None
+        if len(self._queue) >= self.limit_packets:
+            self._count_since_mark = -1
+            self._record_drop(packet, now)
+            return False
+
+        prob = self._drop_probability()
+        should_act = False
+        if prob >= 1.0:
+            should_act = True
+        elif prob > 0.0:
+            # Uniformize inter-mark gaps as in the RED paper.
+            self._count_since_mark += 1
+            denom = 1.0 - self._count_since_mark * prob
+            effective = prob / denom if denom > 0 else 1.0
+            if self._rng.random() < effective:
+                should_act = True
+        else:
+            self._count_since_mark = -1
+
+        if should_act:
+            self._count_since_mark = -1
+            if self.ecn and packet.ecn_capable:
+                packet.ecn_marked = True
+                self._record_mark()
+            else:
+                self._record_drop(packet, now)
+                return False
+
+        packet.enqueue_time = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self._record_enqueue()
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        if not self._queue:
+            self._idle_since = now
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes
+
+    @property
+    def average_queue(self) -> float:
+        """Current EWMA queue estimate (packets)."""
+        return self._avg

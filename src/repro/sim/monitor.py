@@ -1,0 +1,115 @@
+"""Periodic samplers for link and queue state.
+
+Experiments often need the bottleneck's occupancy/utilization over
+time (standing-queue plots, buffer sizing studies).  These samplers
+poll simulator objects on a fixed cadence and keep plain arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .engine import Simulator
+
+
+class QueueMonitor:
+    """Sample a qdisc's occupancy every ``interval`` seconds.
+
+    Args:
+        sim: the simulator.
+        qdisc: any object with ``__len__`` and ``byte_length``.
+        interval: sampling cadence.
+    """
+
+    def __init__(self, sim: Simulator, qdisc, interval: float = 0.05):
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive: {interval}")
+        self.sim = sim
+        self.qdisc = qdisc
+        self.interval = interval
+        self.times: list[float] = []
+        self.packets: list[int] = []
+        self.bytes: list[int] = []
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.times.append(self.sim.now)
+        self.packets.append(len(self.qdisc))
+        self.bytes.append(self.qdisc.byte_length)
+        self.sim.schedule(self.interval, self._tick)
+
+    def occupancy_stats(self) -> dict[str, float]:
+        """Mean/p95/max queue occupancy in packets and bytes."""
+        if not self.times:
+            raise ConfigError("monitor has no samples; call start()")
+        pkts = np.asarray(self.packets, dtype=float)
+        byts = np.asarray(self.bytes, dtype=float)
+        return {
+            "mean_packets": float(pkts.mean()),
+            "p95_packets": float(np.percentile(pkts, 95)),
+            "max_packets": float(pkts.max()),
+            "mean_bytes": float(byts.mean()),
+            "p95_bytes": float(np.percentile(byts, 95)),
+            "max_bytes": float(byts.max()),
+        }
+
+    def standing_delay(self, rate_bps: float) -> float:
+        """Median queueing delay implied by occupancy at ``rate_bps``."""
+        if not self.times:
+            raise ConfigError("monitor has no samples; call start()")
+        return float(np.median(self.bytes)) / rate_bps
+
+
+class UtilizationMonitor:
+    """Sample a link's delivered-byte counter into utilization bins.
+
+    Args:
+        sim: the simulator.
+        link: any object with ``delivered_bytes`` and ``rate``.
+        interval: bin width.
+    """
+
+    def __init__(self, sim: Simulator, link, interval: float = 0.5):
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive: {interval}")
+        self.sim = sim
+        self.link = link
+        self.interval = interval
+        self.times: list[float] = []
+        self.utilization: list[float] = []
+        self._last_bytes = 0
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._last_bytes = self.link.delivered_bytes
+        self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        delivered = self.link.delivered_bytes
+        rate = (delivered - self._last_bytes) / self.interval
+        self._last_bytes = delivered
+        self.times.append(self.sim.now)
+        self.utilization.append(rate / self.link.rate)
+        self.sim.schedule(self.interval, self._tick)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.utilization:
+            raise ConfigError("monitor has no samples; call start()")
+        return float(np.mean(self.utilization))

@@ -1,0 +1,152 @@
+"""Topology builders.
+
+Experiments in this repo overwhelmingly use a dumbbell: many senders
+share one bottleneck link toward one receiving host, with ACKs
+returning over an uncongested reverse path.  That matches both the
+paper's Figure 3 setup (one emulated Mahimahi link) and the access-link
+scenarios of §2.2-2.3.
+
+The builders return a :class:`PathHandles` bundle; transport glue in
+:mod:`repro.tcp` attaches flows to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigError
+from ..qdisc.base import Qdisc
+from ..qdisc.fifo import DropTailQueue
+from ..units import bdp_packets
+from .engine import Simulator
+from .link import DelayBox, Link, LossBox, TraceLink
+from .node import Host
+
+
+@dataclass
+class PathHandles:
+    """Handles for one direction-pair of a built topology.
+
+    Attributes:
+        sim: the simulator driving everything.
+        entry: where senders inject data packets (the bottleneck).
+        bottleneck: the bottleneck link itself (for stats/taps).
+        src_host: host receiving ACKs (senders live here).
+        dst_host: host receiving data (receivers live here).
+        reverse_entry: where receivers inject ACKs.
+        rtt: two-way propagation delay (excluding queueing).
+    """
+
+    sim: Simulator
+    entry: object
+    bottleneck: object
+    src_host: Host
+    dst_host: Host
+    reverse_entry: object
+    rtt: float
+    extras: dict = field(default_factory=dict)
+
+
+def default_buffer_packets(rate_bps: float, rtt: float,
+                           multiplier: float = 1.0) -> int:
+    """A bottleneck buffer of ``multiplier`` x BDP, at least 10 packets."""
+    return max(10, int(round(bdp_packets(rate_bps, rtt) * multiplier)))
+
+
+def dumbbell(sim: Simulator, rate_bps: float, rtt: float,
+             qdisc: Optional[Qdisc] = None,
+             buffer_multiplier: float = 1.0,
+             reverse_rate_bps: Optional[float] = None,
+             loss_rate: float = 0.0, seed: int = 0) -> PathHandles:
+    """Build a single-bottleneck dumbbell.
+
+    Forward path: entry -> bottleneck(rate, qdisc) -> delay(rtt/2) -> dst.
+    Reverse path: reverse_entry -> fast link -> delay(rtt/2) -> src.
+
+    Args:
+        rate_bps: bottleneck rate, bytes/second.
+        rtt: two-way propagation delay, seconds.
+        qdisc: bottleneck queue (default: 1xBDP DropTail).
+        buffer_multiplier: BDP multiple for the default queue size.
+        reverse_rate_bps: ACK-path rate (default: 40x forward, effectively
+            uncongested but still serializing).
+        loss_rate: optional random loss on the forward path.
+    """
+    if rtt <= 0:
+        raise ConfigError(f"rtt must be positive: {rtt}")
+    if qdisc is None:
+        qdisc = DropTailQueue(limit_packets=default_buffer_packets(
+            rate_bps, rtt, buffer_multiplier))
+    src = Host("src")
+    dst = Host("dst")
+
+    fwd_delay = DelayBox(sim, rtt / 2.0, sink=dst, name="fwd-delay")
+    if loss_rate > 0:
+        lossbox = LossBox(sim, loss_rate, sink=fwd_delay, seed=seed)
+        bottleneck = Link(sim, rate_bps, sink=lossbox, qdisc=qdisc,
+                          name="bottleneck")
+    else:
+        bottleneck = Link(sim, rate_bps, sink=fwd_delay, qdisc=qdisc,
+                          name="bottleneck")
+
+    rev_delay = DelayBox(sim, rtt / 2.0, sink=src, name="rev-delay")
+    rev_rate = reverse_rate_bps if reverse_rate_bps is not None \
+        else rate_bps * 40.0
+    reverse = Link(sim, rev_rate, sink=rev_delay,
+                   qdisc=DropTailQueue(limit_packets=10_000), name="reverse")
+
+    return PathHandles(sim=sim, entry=bottleneck, bottleneck=bottleneck,
+                       src_host=src, dst_host=dst, reverse_entry=reverse,
+                       rtt=rtt)
+
+
+def trace_dumbbell(sim: Simulator, opportunities_ms: list[float], rtt: float,
+                   qdisc: Optional[Qdisc] = None,
+                   buffer_packets: int = 200) -> PathHandles:
+    """A dumbbell whose bottleneck is a Mahimahi-style trace link."""
+    if rtt <= 0:
+        raise ConfigError(f"rtt must be positive: {rtt}")
+    if qdisc is None:
+        qdisc = DropTailQueue(limit_packets=buffer_packets)
+    src = Host("src")
+    dst = Host("dst")
+    fwd_delay = DelayBox(sim, rtt / 2.0, sink=dst, name="fwd-delay")
+    bottleneck = TraceLink(sim, opportunities_ms, sink=fwd_delay,
+                           qdisc=qdisc, name="trace-bottleneck")
+    rev_delay = DelayBox(sim, rtt / 2.0, sink=src, name="rev-delay")
+    reverse = Link(sim, 1e9, sink=rev_delay,
+                   qdisc=DropTailQueue(limit_packets=10_000), name="reverse")
+    return PathHandles(sim=sim, entry=bottleneck, bottleneck=bottleneck,
+                       src_host=src, dst_host=dst, reverse_entry=reverse,
+                       rtt=rtt)
+
+
+def two_hop_chain(sim: Simulator, rates_bps: tuple[float, float], rtt: float,
+                  qdiscs: tuple[Optional[Qdisc], Optional[Qdisc]] = (None, None),
+                  buffer_multiplier: float = 1.0) -> PathHandles:
+    """Two links in series (e.g. a Wi-Fi hop behind an access link, §2.2).
+
+    The smaller rate is the true bottleneck; the builder does not assume
+    which one that is.
+    """
+    if rtt <= 0:
+        raise ConfigError(f"rtt must be positive: {rtt}")
+    src = Host("src")
+    dst = Host("dst")
+    q1, q2 = qdiscs
+    if q2 is None:
+        q2 = DropTailQueue(limit_packets=default_buffer_packets(
+            rates_bps[1], rtt, buffer_multiplier))
+    if q1 is None:
+        q1 = DropTailQueue(limit_packets=default_buffer_packets(
+            rates_bps[0], rtt, buffer_multiplier))
+    fwd_delay = DelayBox(sim, rtt / 2.0, sink=dst, name="fwd-delay")
+    second = Link(sim, rates_bps[1], sink=fwd_delay, qdisc=q2, name="hop2")
+    first = Link(sim, rates_bps[0], sink=second, qdisc=q1, name="hop1")
+    rev_delay = DelayBox(sim, rtt / 2.0, sink=src, name="rev-delay")
+    reverse = Link(sim, max(rates_bps) * 40.0, sink=rev_delay,
+                   qdisc=DropTailQueue(limit_packets=10_000), name="reverse")
+    return PathHandles(sim=sim, entry=first, bottleneck=second,
+                       src_host=src, dst_host=dst, reverse_entry=reverse,
+                       rtt=rtt, extras={"hop1": first, "hop2": second})

@@ -1,0 +1,132 @@
+"""Mahimahi link-trace parsing and synthesis.
+
+Mahimahi traces are text files with one integer millisecond timestamp
+per line; each line is an opportunity to deliver one MTU-sized packet.
+We parse that format and synthesize traces for constant rates, periodic
+variation, and random-walk cellular-style links.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from ..units import mbps
+
+#: Bytes delivered per trace opportunity (Mahimahi's MTU).
+OPPORTUNITY_BYTES = 1514
+
+
+def parse_trace(text: str) -> list[float]:
+    """Parse Mahimahi trace text into a list of millisecond timestamps."""
+    timestamps: list[float] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            value = int(line)
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"line {lineno}: expected integer milliseconds, got {line!r}"
+            ) from exc
+        if value < 0:
+            raise TraceFormatError(f"line {lineno}: negative timestamp")
+        if timestamps and value < timestamps[-1]:
+            raise TraceFormatError(
+                f"line {lineno}: timestamps must be non-decreasing")
+        timestamps.append(float(value))
+    if not timestamps:
+        raise TraceFormatError("trace contains no opportunities")
+    if timestamps[-1] <= 0:
+        raise TraceFormatError("trace period must be positive")
+    return timestamps
+
+
+def load_trace(path: str | Path) -> list[float]:
+    """Load a Mahimahi trace file."""
+    return parse_trace(Path(path).read_text())
+
+
+def format_trace(opportunities_ms: list[float]) -> str:
+    """Render opportunity timestamps back into Mahimahi's text format."""
+    return "\n".join(str(int(round(t))) for t in opportunities_ms) + "\n"
+
+
+def constant_rate_trace(rate_mbps: float, duration_ms: int = 1000) -> list[float]:
+    """Opportunities for a constant ``rate_mbps`` link over one period.
+
+    >>> len(constant_rate_trace(12.112, 1000))  # 1 opportunity per ms
+    1000
+    """
+    if rate_mbps <= 0:
+        raise TraceFormatError(f"rate must be positive: {rate_mbps}")
+    opportunities = mbps(rate_mbps) * (duration_ms / 1000.0) / OPPORTUNITY_BYTES
+    count = max(1, int(round(opportunities)))
+    step = duration_ms / count
+    return [round((i + 1) * step, 3) for i in range(count)]
+
+
+def periodic_rate_trace(low_mbps: float, high_mbps: float,
+                        period_ms: int = 2000,
+                        duration_ms: int = 4000) -> list[float]:
+    """A square-wave trace alternating between two rates."""
+    if low_mbps <= 0 or high_mbps <= 0:
+        raise TraceFormatError("rates must be positive")
+    out: list[float] = []
+    t = 0.0
+    toggle_high = True
+    while t < duration_ms:
+        rate = high_mbps if toggle_high else low_mbps
+        seg_end = min(t + period_ms / 2.0, duration_ms)
+        per_ms = mbps(rate) / 1000.0 / OPPORTUNITY_BYTES
+        n = max(1, int(round((seg_end - t) * per_ms)))
+        step = (seg_end - t) / n
+        out.extend(round(t + (i + 1) * step, 3) for i in range(n))
+        t = seg_end
+        toggle_high = not toggle_high
+    return out
+
+
+def cellular_trace(mean_mbps: float, duration_ms: int = 10_000,
+                   volatility: float = 0.3, seed: int = 0,
+                   step_ms: int = 100) -> list[float]:
+    """A random-walk trace mimicking cellular capacity variation.
+
+    The instantaneous rate follows a geometric random walk around
+    ``mean_mbps`` with reflection, re-sampled every ``step_ms`` and
+    linearly interpolated per millisecond between samples -- abrupt
+    rate steps every ``step_ms`` would plant a spectral comb at
+    ``1000/step_ms`` Hz and its subharmonics, which an elasticity
+    probe could mistake for pulse-reactive cross traffic.
+    """
+    if mean_mbps <= 0:
+        raise TraceFormatError(f"mean rate must be positive: {mean_mbps}")
+    rng = np.random.default_rng(seed)
+    low, high = math.log(mean_mbps / 8.0), math.log(mean_mbps * 4.0)
+    n_knots = int(math.ceil(duration_ms / step_ms)) + 1
+    log_rate = math.log(mean_mbps)
+    knots = []
+    for _ in range(n_knots):
+        knots.append(log_rate)
+        log_rate += rng.normal(0.0,
+                               volatility * math.sqrt(step_ms / 1000.0))
+        log_rate = min(max(log_rate, low), high)
+
+    out: list[float] = []
+    carry = 0.0
+    for t_ms in range(int(duration_ms)):
+        pos = t_ms / step_ms
+        idx = min(int(pos), n_knots - 2)
+        frac = pos - idx
+        rate = math.exp(knots[idx] * (1 - frac) + knots[idx + 1] * frac)
+        carry += mbps(rate) / 1000.0  # bytes deliverable this ms
+        while carry >= OPPORTUNITY_BYTES:
+            carry -= OPPORTUNITY_BYTES
+            out.append(float(t_ms + 1))
+    if not out:
+        out.append(float(duration_ms))
+    return out

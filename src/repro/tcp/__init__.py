@@ -1,0 +1,20 @@
+"""TCP-like reliable transport.
+
+SACK-based loss recovery (RFC 6675-style scoreboard with FACK loss
+marking and pipe accounting), RFC 6298 retransmission timeouts with
+go-back-N, optional pacing driven by the CCA, BBR-style delivery-rate
+sampling (SACKed bytes count as delivered when SACKed), and
+Linux-``tcp_info`` limit-state instrumentation -- the fields M-Lab NDT
+archives and §3.1 analyses.
+"""
+
+from .endpoint import (DUPACK_THRESHOLD, Connection, TcpReceiver, TcpSender,
+                       UNLIMITED_RWND)
+from .rtt import RttEstimator
+from .tcp_info import LimitState, TcpInfoSnapshot, TcpInfoTracker
+
+__all__ = [
+    "TcpSender", "TcpReceiver", "Connection", "RttEstimator",
+    "LimitState", "TcpInfoSnapshot", "TcpInfoTracker",
+    "DUPACK_THRESHOLD", "UNLIMITED_RWND",
+]

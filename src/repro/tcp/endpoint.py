@@ -1,0 +1,632 @@
+"""TCP-like transport endpoints.
+
+:class:`TcpSender` provides a reliable byte stream with pluggable
+congestion control: cumulative + selective ACKs, RFC 6675-style SACK
+loss recovery with FACK loss marking and pipe accounting, an RFC 6298
+retransmission timer with go-back-N on expiry, optional pacing,
+BBR-style delivery-rate sampling, and Linux-``tcp_info``-style
+limit-state accounting.
+
+:class:`TcpReceiver` reassembles the stream, advertises a receive
+window, and generates immediate ACKs carrying SACK blocks and exact
+RTT-timestamp echoes (suppressed for retransmitted segments, per Karn's
+algorithm).
+
+:class:`Connection` wires a sender/receiver pair onto a
+:class:`~repro.sim.network.PathHandles` topology.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Callable, Optional
+
+from ..cca.base import AckSample, CongestionControl
+from ..errors import TransportError
+from ..sim.engine import Simulator
+from ..sim.network import PathHandles
+from ..sim.packet import Packet, PacketKind, make_ack, make_data
+from ..units import DEFAULT_MSS
+from .rtt import RttEstimator
+from .tcp_info import LimitState, TcpInfoTracker
+
+#: Loss is declared when this many segment-sizes of data above a
+#: segment have been selectively acknowledged (FACK-style IsLost).
+DUPACK_THRESHOLD = 3
+
+#: Effectively-unlimited receive window.
+UNLIMITED_RWND = 1 << 48
+
+#: Maximum SACK blocks carried per ACK (as in real TCP options).
+MAX_SACK_BLOCKS = 3
+
+
+class _Segment:
+    """Scoreboard entry for one in-flight data segment."""
+
+    __slots__ = ("seq", "end", "wire_size", "sent_time", "retransmitted",
+                 "retx_inflight", "sacked", "lost", "delivered_at_send",
+                 "app_limited")
+
+    def __init__(self, seq: int, end: int, wire_size: int, sent_time: float,
+                 delivered_at_send: int, app_limited: bool):
+        self.seq = seq
+        self.end = end
+        self.wire_size = wire_size
+        self.sent_time = sent_time
+        self.retransmitted = False
+        self.retx_inflight = False
+        self.sacked = False
+        self.lost = False
+        self.delivered_at_send = delivered_at_send
+        self.app_limited = app_limited
+
+    @property
+    def payload(self) -> int:
+        return self.end - self.seq
+
+
+class TcpSender:
+    """Reliable stream sender with pluggable congestion control.
+
+    Args:
+        sim: the simulator.
+        flow_id: flow identifier carried on every packet.
+        cca: the congestion control algorithm instance (owned).
+        transmit: callable injecting packets into the network.
+        mss: payload bytes per segment.
+        user_id: subscriber identifier (for per-user qdiscs).
+        header_bytes: wire overhead per segment.
+        ecn: negotiate ECN (packets marked capable; reacts to echoes).
+    """
+
+    def __init__(self, sim: Simulator, flow_id: str, cca: CongestionControl,
+                 transmit: Callable[[Packet], None], mss: int = DEFAULT_MSS,
+                 user_id: str = "", header_bytes: int = 52,
+                 ecn: bool = False):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.cca = cca
+        self.transmit = transmit
+        self.mss = mss
+        self.user_id = user_id or flow_id
+        self.header_bytes = header_bytes
+        self.ecn = ecn
+
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._total_written = 0
+        self._infinite_backlog = False
+        self._closed = False
+        self._completed = False
+        #: invoked once, as ``fn(now)``, when a closed stream is fully acked
+        self.on_complete: Optional[Callable[[float], None]] = None
+
+        # Scoreboard: seq -> segment, plus an ordered queue of lost
+        # segments awaiting retransmission and a running pipe estimate.
+        # `_order` holds outstanding seqs in (monotone) send order with
+        # `_head` as its logical start and `_scan` as the loss-marking
+        # pointer -- this keeps SACK processing amortized O(1) per ACK
+        # instead of O(window), which matters when a BBR-sized window
+        # (thousands of segments) is in flight.
+        self._segments: dict[int, _Segment] = {}
+        self._by_end: dict[int, int] = {}
+        self._order: list[int] = []
+        self._head = 0
+        self._scan = 0
+        self._lost_queue: deque[int] = deque()
+        self._pipe_bytes = 0
+        self._highest_sacked = 0
+
+        self._in_recovery = False
+        self._recover_point = 0
+        self._peer_rwnd = UNLIMITED_RWND
+        self.dupacks_total = 0
+
+        self.rtt = RttEstimator()
+        self.tracker = TcpInfoTracker(start_time=sim.now)
+        self._rto_event = None
+        self._pump_event = None
+        self._next_tx_time = 0.0
+
+        # BBR-style delivery accounting.
+        self.delivered = 0
+        self.delivered_time = sim.now
+
+        self.fast_retransmits = 0
+        self.timeouts = 0
+
+        cca.on_connection_start(sim.now)
+
+    # -- application interface -------------------------------------------
+
+    def write(self, nbytes: int) -> None:
+        """Append ``nbytes`` to the stream."""
+        if nbytes < 0:
+            raise TransportError(f"cannot write negative bytes: {nbytes}")
+        if self._closed:
+            raise TransportError("write after close")
+        self._total_written += nbytes
+        self._pump()
+
+    def set_infinite_backlog(self) -> None:
+        """Model a persistently backlogged application."""
+        self._infinite_backlog = True
+        self._pump()
+
+    def close(self) -> None:
+        """No more writes; ``on_complete`` fires when all data is acked."""
+        self._closed = True
+        self._maybe_complete()
+
+    @property
+    def backlog(self) -> int:
+        """Bytes written but not yet (first-)transmitted."""
+        if self._infinite_backlog:
+            return 1 << 60
+        return max(0, self._total_written - self.snd_nxt)
+
+    @property
+    def inflight_bytes(self) -> int:
+        """Payload bytes sent and not yet cumulatively acked."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def pipe_bytes(self) -> int:
+        """RFC 6675 pipe: bytes estimated to still be in the network."""
+        return self._pipe_bytes
+
+    @property
+    def in_recovery(self) -> bool:
+        return self._in_recovery
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+    # -- window/pipe arithmetic --------------------------------------------
+
+    def _window_bytes(self) -> float:
+        return min(self.cca.cwnd * self.mss, float(self._peer_rwnd))
+
+    def _window_open(self) -> bool:
+        return self._pipe_bytes + self.mss <= self._window_bytes() + 1e-9
+
+    def _can_transmit(self) -> bool:
+        if not self._window_open():
+            return False
+        return bool(self._lost_queue) or self.backlog > 0
+
+    # -- transmission -------------------------------------------------------
+
+    def _pump(self) -> None:
+        if self._pump_event is not None:
+            return
+        now = self.sim.now
+        while self._can_transmit():
+            if self._next_tx_time > now + 1e-12:
+                self._pump_event = self.sim.schedule_at(
+                    self._next_tx_time, self._pump_fire)
+                break
+            if self._lost_queue:
+                self._send_retransmission()
+            else:
+                self._send_new_segment()
+        self._update_limit_state()
+
+    def _pump_fire(self) -> None:
+        self._pump_event = None
+        self._pump()
+
+    def _send_new_segment(self) -> None:
+        now = self.sim.now
+        payload = min(self.mss, self.backlog)
+        seq = self.snd_nxt
+        packet = make_data(self.flow_id, seq=seq, payload=payload,
+                           size=payload + self.header_bytes,
+                           user_id=self.user_id, ecn_capable=self.ecn)
+        packet.sent_time = now
+        self.snd_nxt = seq + payload
+        app_limited = (not self._infinite_backlog) and self.backlog == 0
+        packet.app_limited = app_limited
+        self._segments[seq] = _Segment(
+            seq, seq + payload, packet.size, now, self.delivered, app_limited)
+        self._by_end[seq + payload] = seq
+        self._order.append(seq)
+        self._pipe_bytes += payload
+        self.tracker.bytes_sent += payload
+        self._advance_pacing_clock(packet.size)
+        self.cca.on_packet_sent(now, payload, app_limited)
+        self._arm_rto()
+        self.transmit(packet)
+
+    def _send_retransmission(self) -> None:
+        seq = self._lost_queue.popleft()
+        segment = self._segments.get(seq)
+        if segment is None or segment.sacked or segment.retx_inflight:
+            return
+        now = self.sim.now
+        payload = segment.payload
+        packet = make_data(self.flow_id, seq=segment.seq, payload=payload,
+                           size=segment.wire_size, user_id=self.user_id,
+                           ecn_capable=self.ecn)
+        packet.sent_time = now
+        packet.retransmit = True
+        segment.retransmitted = True
+        segment.retx_inflight = True
+        segment.sent_time = now
+        self._pipe_bytes += payload
+        self.tracker.bytes_retrans += payload
+        self.tracker.retransmits += 1
+        self._advance_pacing_clock(packet.size)
+        self._arm_rto()
+        self.transmit(packet)
+
+    def _advance_pacing_clock(self, wire_size: int) -> None:
+        rate = self.cca.pacing_rate
+        now = self.sim.now
+        if rate is None or rate <= 0:
+            self._next_tx_time = now
+            return
+        base = max(now, self._next_tx_time)
+        self._next_tx_time = base + wire_size / rate
+
+    # -- ACK processing ------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        """Entry point for packets arriving from the network (ACKs)."""
+        if packet.kind is not PacketKind.ACK:
+            return
+        now = self.sim.now
+        if packet.rwnd is not None:
+            self._peer_rwnd = max(0, packet.rwnd - self.snd_una)
+
+        self._apply_sack_blocks(packet.sack_blocks)
+        if packet.ack > self.snd_una:
+            self._on_new_ack(packet, now)
+        elif packet.ack == self.snd_una and self.inflight_bytes > 0:
+            self.dupacks_total += 1
+            self.cca.on_dup_ack(now)
+        self._detect_losses(now)
+        self._maybe_exit_recovery(now)
+        self._pump()
+
+    def _apply_sack_blocks(self,
+                           blocks: tuple[tuple[int, int], ...]) -> None:
+        for lo, hi in blocks:
+            if hi > self._highest_sacked:
+                self._highest_sacked = hi
+            idx = bisect.bisect_left(self._order, lo, lo=self._head)
+            while idx < len(self._order):
+                seq = self._order[idx]
+                if seq >= hi:
+                    break
+                idx += 1
+                seg = self._segments.get(seq)
+                if seg is None or seg.sacked:
+                    continue
+                if seg.seq >= lo and seg.end <= hi:
+                    seg.sacked = True
+                    # Count delivery at SACK time (as Linux tcp_rate
+                    # does): otherwise the cumulative ACK that later
+                    # repairs the hole below looks like a multi-MB
+                    # instantaneous delivery and poisons rate samples.
+                    self.delivered += seg.payload
+                    self.delivered_time = self.sim.now
+                    if seg.lost:
+                        # Original was marked lost; only an in-flight
+                        # retransmission still counts toward pipe.
+                        if seg.retx_inflight:
+                            self._pipe_bytes -= seg.payload
+                            seg.retx_inflight = False
+                    else:
+                        self._pipe_bytes -= seg.payload
+
+    def _detect_losses(self, now: float) -> None:
+        threshold = self._highest_sacked - DUPACK_THRESHOLD * self.mss
+        newly_lost_max: int | None = None
+        if self._scan < self._head:
+            self._scan = self._head
+        while self._scan < len(self._order):
+            seq = self._order[self._scan]
+            seg = self._segments.get(seq)
+            if seg is None or seg.sacked or seg.lost:
+                self._scan += 1
+                continue
+            if seg.end > threshold:
+                break
+            seg.lost = True
+            self._pipe_bytes -= seg.payload
+            self._lost_queue.append(seq)  # scan order is seq order
+            newly_lost_max = seq
+            self._scan += 1
+        if newly_lost_max is None or self._in_recovery:
+            return
+        # One congestion response per window of data (RFC 6582/6675):
+        # a late-detected loss from before the previous recovery point
+        # still gets retransmitted, but must not trigger another
+        # multiplicative decrease.
+        if newly_lost_max >= self._recover_point:
+            self._in_recovery = True
+            self._recover_point = self.snd_nxt
+            self.fast_retransmits += 1
+            self.cca.on_loss(now, self.mss)
+
+    def _maybe_exit_recovery(self, now: float) -> None:
+        if self._in_recovery and self.snd_una >= self._recover_point:
+            self._in_recovery = False
+            self.cca.on_recovery_exit(now)
+
+    def _on_new_ack(self, packet: Packet, now: float) -> None:
+        acked = packet.ack - self.snd_una
+        self.snd_una = packet.ack
+        if self.snd_nxt < self.snd_una:
+            # A late cumulative ACK can outrun snd_nxt after a go-back-N
+            # reset (the receiver already held the data out of order).
+            self.snd_nxt = self.snd_una
+        self.tracker.bytes_acked += acked
+
+        rtt_sample: float | None = None
+        if packet.ack_of_sent_time is not None:
+            candidate = now - packet.ack_of_sent_time
+            if candidate > 0:
+                self.rtt.update(candidate)
+                rtt_sample = candidate
+
+        # Grab the rate-sample candidate before its segment is dropped.
+        sample_seq = self._by_end.get(packet.ack)
+        sample_seg = self._segments.get(sample_seq) \
+            if sample_seq is not None else None
+
+        # Delivery accounting: bytes already counted when SACKed are
+        # not re-counted; bytes with no scoreboard entry (post-RTO
+        # go-back-N races) are credited from the ACK itself.
+        newly_delivered, covered = self._drop_acked_segments(packet.ack)
+        self.delivered += newly_delivered + max(0, acked - covered)
+        self.delivered_time = now
+
+        delivery_rate, rate_app_limited = self._delivery_rate_sample(
+            sample_seg, now)
+
+        sample = AckSample(
+            now=now, acked_bytes=acked, rtt=rtt_sample,
+            min_rtt=self.rtt.min_rtt, srtt=self.rtt.srtt,
+            inflight_bytes=self.inflight_bytes,
+            delivery_rate=delivery_rate,
+            delivery_rate_app_limited=rate_app_limited,
+            delivered_total=self.delivered,
+            in_recovery=self._in_recovery and self.snd_una < self._recover_point,
+            ecn_echo=packet.ecn_echo,
+        )
+        self.cca.on_ack(sample)
+
+        if self.inflight_bytes > 0:
+            self._arm_rto(restart=True)
+        else:
+            self._disarm_rto()
+        self._maybe_complete()
+
+    def _delivery_rate_sample(self, candidate: _Segment | None, now: float
+                              ) -> tuple[float | None, bool]:
+        # The candidate is the segment ending exactly at the new ack.
+        if candidate is None or candidate.retransmitted:
+            return None, False
+        elapsed = now - candidate.sent_time
+        # A segment cannot be acknowledged in less than the path's min
+        # RTT.  If this "ack" arrived faster, the cumulative ack was
+        # really triggered by older data (e.g. a post-RTO duplicate
+        # resend the receiver already held) and the sample would divide
+        # a large delivered delta by a near-zero interval.
+        min_rtt = self.rtt.min_rtt
+        if elapsed <= 0 or (min_rtt is not None and elapsed < min_rtt):
+            return None, False
+        rate = (self.delivered - candidate.delivered_at_send) / elapsed
+        return rate, candidate.app_limited
+
+    def _drop_acked_segments(self, ack: int) -> tuple[int, int]:
+        """Remove segments below ``ack``.
+
+        Returns:
+            (newly_delivered, covered): payload bytes not previously
+            counted as delivered via SACK, and total payload bytes of
+            the removed segments.
+        """
+        newly_delivered = 0
+        covered = 0
+        while self._head < len(self._order):
+            seq = self._order[self._head]
+            seg = self._segments.get(seq)
+            if seg is None:
+                self._head += 1
+                continue
+            if seg.end > ack:
+                break
+            self._head += 1
+            del self._segments[seq]
+            self._by_end.pop(seg.end, None)
+            covered += seg.payload
+            if not seg.sacked:
+                newly_delivered += seg.payload
+                if not seg.lost:
+                    self._pipe_bytes -= seg.payload
+                elif seg.retx_inflight:
+                    self._pipe_bytes -= seg.payload
+        if self._head > 4096 and self._head > len(self._order) // 2:
+            del self._order[:self._head]
+            self._scan = max(0, self._scan - self._head)
+            self._head = 0
+        while self._lost_queue and self._lost_queue[0] not in self._segments:
+            # Cumulatively-acked entries sit at the front (lowest seqs).
+            self._lost_queue.popleft()
+        return newly_delivered, covered
+
+    # -- RTO -------------------------------------------------------------------
+
+    def _arm_rto(self, restart: bool = False) -> None:
+        if self._rto_event is not None:
+            if not restart:
+                return
+            self._rto_event.cancel()
+        self._rto_event = self.sim.schedule(self.rtt.rto, self._on_rto)
+
+    def _disarm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.inflight_bytes <= 0:
+            return
+        now = self.sim.now
+        self.timeouts += 1
+        self.rtt.backoff()
+        # Go-back-N: everything outstanding is presumed lost.
+        self._segments.clear()
+        self._by_end.clear()
+        self._order.clear()
+        self._head = 0
+        self._scan = 0
+        self._lost_queue.clear()
+        self._pipe_bytes = 0
+        self._highest_sacked = 0
+        self.snd_nxt = self.snd_una
+        self._in_recovery = False
+        self._next_tx_time = now
+        self.cca.on_rto(now)
+        self._pump()
+        if self.inflight_bytes > 0 or self.backlog > 0:
+            self._arm_rto(restart=True)
+
+    # -- accounting ---------------------------------------------------------
+
+    def _update_limit_state(self) -> None:
+        now = self.sim.now
+        if self.backlog <= 0 and self.inflight_bytes == 0:
+            state = LimitState.IDLE if self._closed else LimitState.APP_LIMITED
+        elif self.backlog <= 0 and not self._lost_queue:
+            state = LimitState.APP_LIMITED
+        elif self._can_transmit() or self._pump_event is not None:
+            state = LimitState.BUSY
+        elif self._peer_rwnd < self.cca.cwnd * self.mss:
+            state = LimitState.RWND_LIMITED
+        else:
+            state = LimitState.CWND_LIMITED
+        if state is not self.tracker.state:
+            self.tracker.set_state(state, now)
+
+    def _maybe_complete(self) -> None:
+        if (self._closed and not self._completed
+                and not self._infinite_backlog
+                and self.snd_una >= self._total_written
+                and self.backlog <= 0):
+            self._completed = True
+            if self.on_complete is not None:
+                self.on_complete(self.sim.now)
+
+    def snapshot(self):
+        """Current :class:`~repro.tcp.tcp_info.TcpInfoSnapshot`."""
+        self._update_limit_state()
+        return self.tracker.snapshot(self.sim.now, min_rtt_s=self.rtt.min_rtt,
+                                     smoothed_rtt_s=self.rtt.srtt)
+
+
+class TcpReceiver:
+    """Stream reassembly, receive-window advertisement, and ACK generation.
+
+    Args:
+        sim: the simulator.
+        flow_id: flow identifier.
+        transmit: callable injecting ACKs into the reverse path.
+        rwnd_bytes: advertised receive window (None = unlimited); a
+            small fixed window models receiver-limited flows.
+        on_data: optional ``fn(new_bytes, now)`` delivery callback fired
+            as in-order data arrives.
+    """
+
+    def __init__(self, sim: Simulator, flow_id: str,
+                 transmit: Callable[[Packet], None],
+                 rwnd_bytes: int | None = None,
+                 on_data: Optional[Callable[[int, float], None]] = None,
+                 user_id: str = ""):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.transmit = transmit
+        self.rwnd_bytes = rwnd_bytes
+        self.on_data = on_data
+        self.user_id = user_id or flow_id
+        self.rcv_nxt = 0
+        self._ooo: list[tuple[int, int]] = []
+        self.received_bytes = 0
+        self.duplicate_packets = 0
+
+    def on_packet(self, packet: Packet) -> None:
+        """Entry point for packets arriving from the network (DATA)."""
+        if packet.kind is not PacketKind.DATA:
+            return
+        now = self.sim.now
+        before = self.rcv_nxt
+        if packet.end_seq <= self.rcv_nxt:
+            self.duplicate_packets += 1
+        else:
+            self._insert(packet.seq, packet.end_seq)
+        advanced = self.rcv_nxt - before
+        if advanced > 0:
+            self.received_bytes += advanced
+            if self.on_data is not None:
+                self.on_data(advanced, now)
+        self._send_ack(packet, now)
+
+    def _insert(self, seq: int, end: int) -> None:
+        seq = max(seq, self.rcv_nxt)
+        intervals = self._ooo + [(seq, end)]
+        intervals.sort()
+        merged: list[tuple[int, int]] = []
+        for lo, hi in intervals:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        # Advance rcv_nxt over any leading contiguous interval.
+        while merged and merged[0][0] <= self.rcv_nxt:
+            self.rcv_nxt = max(self.rcv_nxt, merged[0][1])
+            merged.pop(0)
+        self._ooo = merged
+
+    def _send_ack(self, data_packet: Packet, now: float) -> None:
+        ack = make_ack(self.flow_id, ack=self.rcv_nxt, user_id=self.user_id)
+        ack.sent_time = now
+        if not data_packet.retransmit:
+            # Karn's algorithm: never derive RTT from retransmissions.
+            ack.ack_of_sent_time = data_packet.sent_time
+        if self._ooo:
+            ack.sack_blocks = tuple(self._ooo[-MAX_SACK_BLOCKS:])
+        if self.rwnd_bytes is not None:
+            ack.rwnd = self.rcv_nxt + self.rwnd_bytes
+        if data_packet.ecn_marked:
+            ack.ecn_echo = True
+        self.transmit(ack)
+
+
+class Connection:
+    """A sender/receiver pair attached to a built topology."""
+
+    def __init__(self, sim: Simulator, path: PathHandles, flow_id: str,
+                 cca: CongestionControl, mss: int = DEFAULT_MSS,
+                 rwnd_bytes: int | None = None, user_id: str = "",
+                 on_data: Optional[Callable[[int, float], None]] = None,
+                 ecn: bool = False):
+        self.flow_id = flow_id
+        self.sender = TcpSender(
+            sim, flow_id, cca, transmit=path.entry.send, mss=mss,
+            user_id=user_id, ecn=ecn)
+        self.receiver = TcpReceiver(
+            sim, flow_id, transmit=path.reverse_entry.send,
+            rwnd_bytes=rwnd_bytes, on_data=on_data, user_id=user_id)
+        path.dst_host.attach(flow_id, self.receiver.on_packet)
+        path.src_host.attach(flow_id, self.sender.on_packet)
+
+    @property
+    def cca(self) -> CongestionControl:
+        return self.sender.cca

@@ -1,0 +1,60 @@
+"""RTT estimation and retransmission timeout (RFC 6298)."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class RttEstimator:
+    """Jacobson/Karels smoothed RTT with RFC 6298 RTO computation.
+
+    Args:
+        min_rto: lower clamp on the RTO (Linux uses 200 ms).
+        max_rto: upper clamp on the RTO.
+        initial_rto: RTO before the first RTT sample (RFC 6298: 1 s).
+    """
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(self, min_rto: float = 0.2, max_rto: float = 60.0,
+                 initial_rto: float = 1.0):
+        if not 0 < min_rto <= max_rto:
+            raise ConfigError("need 0 < min_rto <= max_rto")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self.min_rtt: float | None = None
+        self.latest_rtt: float | None = None
+        self._rto = initial_rto
+        self.samples = 0
+
+    def update(self, rtt: float) -> None:
+        """Fold one RTT sample (seconds) into the estimator."""
+        if rtt <= 0:
+            raise ConfigError(f"rtt sample must be positive: {rtt}")
+        self.latest_rtt = rtt
+        self.samples += 1
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = ((1 - self.BETA) * self.rttvar
+                           + self.BETA * abs(self.srtt - rtt))
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        raw = self.srtt + self.K * self.rttvar
+        self._rto = min(max(raw, self.min_rto), self.max_rto)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout (seconds)."""
+        return self._rto
+
+    def backoff(self) -> None:
+        """Exponential RTO backoff after a timeout fires."""
+        self._rto = min(self._rto * 2.0, self.max_rto)

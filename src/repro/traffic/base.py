@@ -1,0 +1,28 @@
+"""Common interfaces for traffic generators.
+
+A traffic source drives one or more transport connections (or raw
+packet streams) on a path.  Sources are started explicitly so that
+scenario code controls phase boundaries (Figure 3 runs five sources in
+sequence on the same link).
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class TrafficSource(abc.ABC):
+    """Something that can start and stop offering load on a path."""
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Begin offering load."""
+
+    def stop(self) -> None:
+        """Stop offering load.  Already-queued data may still drain;
+        sources that cannot stop mid-flight document that."""
+
+    @property
+    @abc.abstractmethod
+    def delivered_bytes(self) -> int:
+        """Payload bytes delivered to the destination so far."""

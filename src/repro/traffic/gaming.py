@@ -1,0 +1,109 @@
+"""Cloud-gaming-style streaming traffic.
+
+§2.2 cites DECAF (Iqbal et al. 2021): real-time game streaming, the
+most aggressive common video workload, consumes 20-30 Mbit/s at top
+bitrates and is rate-limited at the server.  We model it as a paced
+frame stream: ``fps`` frames per second, each frame's size set by the
+current target bitrate, with a latency-driven rate adaptation loop
+(drop the bitrate when measured delay inflates, creep back up when it
+is clean) running over an unreliable transport like the CBR source.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..sim.engine import Simulator
+from ..sim.network import PathHandles
+from ..sim.packet import Packet, PacketKind
+from ..units import mbps
+from .base import TrafficSource
+
+
+class CloudGamingStream(TrafficSource):
+    """Latency-adaptive game stream.
+
+    Args:
+        bitrates_mbps: selectable encoder bitrates, ascending.
+        fps: frames per second.
+        delay_budget: one-way delay (seconds) above which the encoder
+            steps down a bitrate.
+        upgrade_after: seconds of clean delay before stepping back up.
+    """
+
+    MTU = 1200
+
+    def __init__(self, sim: Simulator, path: PathHandles, flow_id: str,
+                 bitrates_mbps: tuple[float, ...] = (5.0, 10.0, 20.0, 30.0),
+                 fps: int = 60, delay_budget: float = 0.06,
+                 upgrade_after: float = 3.0, rtt_hint: float = 0.05,
+                 user_id: str = ""):
+        if not bitrates_mbps or list(bitrates_mbps) != sorted(bitrates_mbps):
+            raise ConfigError("bitrates must be non-empty and ascending")
+        if fps <= 0:
+            raise ConfigError(f"fps must be positive: {fps}")
+        self.sim = sim
+        self.path = path
+        self.flow_id = flow_id
+        self.rates = [mbps(b) for b in bitrates_mbps]
+        self.fps = fps
+        self.delay_budget = delay_budget
+        self.upgrade_after = upgrade_after
+        self.rtt_hint = rtt_hint
+        self.user_id = user_id or flow_id
+        self._level = len(self.rates) - 1
+        self._received = 0
+        self._running = False
+        self._seq = 0
+        self._clean_since = 0.0
+        self.downgrades = 0
+        self.upgrades = 0
+        path.dst_host.attach(flow_id, self._on_delivery)
+
+    @property
+    def current_rate(self) -> float:
+        """Current target bitrate (bytes/second)."""
+        return self.rates[self._level]
+
+    def start(self) -> None:
+        self._running = True
+        self._clean_since = self.sim.now
+        self._send_frame()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _send_frame(self) -> None:
+        if not self._running:
+            return
+        frame_bytes = int(self.current_rate / self.fps)
+        offset = 0
+        while offset < frame_bytes:
+            size = min(self.MTU, frame_bytes - offset)
+            packet = Packet(self.flow_id, PacketKind.DATA, size=size,
+                            seq=self._seq, end_seq=self._seq + size,
+                            user_id=self.user_id)
+            packet.sent_time = self.sim.now
+            self._seq += size
+            self.path.entry.send(packet)
+            offset += size
+        self.sim.schedule(1.0 / self.fps, self._send_frame)
+
+    def _on_delivery(self, packet: Packet) -> None:
+        self._received += packet.size
+        one_way = self.sim.now - packet.sent_time
+        queueing = max(0.0, one_way - self.rtt_hint / 2.0)
+        now = self.sim.now
+        if queueing > self.delay_budget:
+            if self._level > 0:
+                self._level -= 1
+                self.downgrades += 1
+            self._clean_since = now
+        elif (now - self._clean_since > self.upgrade_after
+                and self._level < len(self.rates) - 1):
+            self._level += 1
+            self.upgrades += 1
+            self._clean_since = now
+
+    @property
+    def delivered_bytes(self) -> int:
+        return self._received

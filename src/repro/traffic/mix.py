@@ -1,0 +1,121 @@
+"""Scenario composition: named cross-traffic factories and phase plans.
+
+Figure 3 runs five cross-traffic types in sequence on one link; the
+campaign (E7) samples cross-traffic types per path.  Both use this
+registry so experiment configs can name traffic by string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..cca.bbr import BbrCca
+from ..cca.reno import RenoCca
+from ..errors import ConfigError
+from ..sim.engine import Simulator
+from ..sim.network import PathHandles
+from ..units import mbps
+from .backlogged import BackloggedFlow
+from .base import TrafficSource
+from .cbr import CbrSource
+from .poisson import PoissonShortFlows
+from .video import VideoStream
+
+CrossTrafficFactory = Callable[[Simulator, PathHandles, str, int],
+                               TrafficSource]
+
+
+def _reno(sim, path, flow_id, seed):
+    return BackloggedFlow(sim, path, flow_id, RenoCca())
+
+
+def _bbr(sim, path, flow_id, seed):
+    return BackloggedFlow(sim, path, flow_id, BbrCca())
+
+
+def _video(sim, path, flow_id, seed):
+    return VideoStream(sim, path, flow_id)
+
+
+def _poisson(sim, path, flow_id, seed):
+    # ~25% load at a 48 Mbit/s link: 30 flows/s x 50 kB = 1.5 MB/s.
+    return PoissonShortFlows(sim, path, arrival_rate=30.0,
+                             mean_size=50_000, seed=seed, prefix=flow_id)
+
+
+def _cbr(sim, path, flow_id, seed):
+    return CbrSource(sim, path, flow_id, rate=mbps(12))
+
+
+def _nothing(sim, path, flow_id, seed):
+    return IdleSource()
+
+
+class IdleSource(TrafficSource):
+    """No traffic at all (the empty-path control)."""
+
+    def start(self) -> None:
+        pass
+
+    @property
+    def delivered_bytes(self) -> int:
+        return 0
+
+
+#: Cross-traffic types by name.  "reno" and "bbr" are the contending
+#: (elastic) phases of Figure 3; "video", "poisson", and "cbr" are the
+#: non-contending ones; "none" is a control.
+CROSS_TRAFFIC_REGISTRY: dict[str, CrossTrafficFactory] = {
+    "none": _nothing,
+    "reno": _reno,
+    "bbr": _bbr,
+    "video": _video,
+    "poisson": _poisson,
+    "cbr": _cbr,
+}
+
+#: Whether each cross-traffic type truly contends for bandwidth
+#: (ground truth for detector evaluation).
+CROSS_TRAFFIC_IS_ELASTIC: dict[str, bool] = {
+    "none": False,
+    "reno": True,
+    "bbr": True,
+    "video": False,
+    "poisson": False,
+    "cbr": False,
+}
+
+
+def make_cross_traffic(name: str, sim: Simulator, path: PathHandles,
+                       flow_id: str, seed: int = 0) -> TrafficSource:
+    """Build a cross-traffic source by registry name."""
+    try:
+        factory = CROSS_TRAFFIC_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(CROSS_TRAFFIC_REGISTRY))
+        raise ConfigError(f"unknown cross traffic {name!r}; known: {known}") \
+            from None
+    return factory(sim, path, flow_id, seed)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a sequenced scenario."""
+
+    name: str
+    duration: float
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ConfigError(f"phase duration must be positive: {self}")
+
+
+#: The Figure 3 phase plan: five cross-traffic types, 45 s each.
+FIGURE3_PHASES = (
+    Phase("reno", 45.0),
+    Phase("bbr", 45.0),
+    Phase("video", 45.0),
+    Phase("poisson", 45.0),
+    Phase("cbr", 45.0),
+)

@@ -1,0 +1,141 @@
+"""Short flows with Poisson arrivals.
+
+The paper's §2.2: "most application flows are short" -- they fit in the
+initial window and are gone before CCA dynamics matter.  This generator
+creates a new transport connection per flow, with exponential
+inter-arrival times and sizes drawn from a heavy-tailed (log-normal or
+Pareto-like) distribution, the shape measurement studies consistently
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cca.base import CongestionControl
+from ..cca.cubic import CubicCca
+from ..errors import ConfigError
+from ..sim.engine import Simulator
+from ..sim.network import PathHandles
+from ..tcp.endpoint import Connection
+from .base import TrafficSource
+
+
+def lognormal_sizes(rng: np.random.Generator, mean_bytes: float,
+                    sigma: float = 1.5):
+    """Heavy-tailed flow sizes with the requested mean."""
+    mu = np.log(mean_bytes) - sigma * sigma / 2.0
+    while True:
+        yield max(200, int(rng.lognormal(mu, sigma)))
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle record of one short flow."""
+
+    flow_id: str
+    size: int
+    start_time: float
+    completion_time: float | None = None
+
+    @property
+    def fct(self) -> float | None:
+        """Flow completion time (None while in flight)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.start_time
+
+
+class PoissonShortFlows(TrafficSource):
+    """Open-loop short-flow workload.
+
+    Args:
+        sim: the simulator.
+        path: topology the flows run over.
+        arrival_rate: flows per second (Poisson).
+        mean_size: mean flow size in bytes.
+        sigma: log-normal shape parameter (tail heaviness).
+        cca_factory: builds a CCA per flow (fresh slow start each time).
+        seed: RNG seed.
+        prefix: flow-id prefix.
+    """
+
+    def __init__(self, sim: Simulator, path: PathHandles,
+                 arrival_rate: float, mean_size: float = 50_000,
+                 sigma: float = 1.5, cca_factory=CubicCca, seed: int = 0,
+                 prefix: str = "short", user_id: str = ""):
+        if arrival_rate <= 0:
+            raise ConfigError(f"arrival_rate must be positive: {arrival_rate}")
+        if mean_size <= 0:
+            raise ConfigError(f"mean_size must be positive: {mean_size}")
+        self.sim = sim
+        self.path = path
+        self.arrival_rate = arrival_rate
+        self.cca_factory = cca_factory
+        self.prefix = prefix
+        self.user_id = user_id
+        self._rng = np.random.default_rng(seed)
+        self._sizes = lognormal_sizes(self._rng, mean_size, sigma)
+        self._running = False
+        self._counter = 0
+        self.records: list[FlowRecord] = []
+        self._delivered = 0
+
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next_arrival()
+
+    def stop(self) -> None:
+        """Stop new arrivals; in-flight flows finish naturally."""
+        self._running = False
+
+    def _schedule_next_arrival(self) -> None:
+        if not self._running:
+            return
+        gap = self._rng.exponential(1.0 / self.arrival_rate)
+        self.sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        if not self._running:
+            return
+        self._counter += 1
+        flow_id = f"{self.prefix}-{self._counter}"
+        size = next(self._sizes)
+        record = FlowRecord(flow_id=flow_id, size=size,
+                            start_time=self.sim.now)
+        self.records.append(record)
+
+        conn = Connection(self.sim, self.path, flow_id, self.cca_factory(),
+                          user_id=self.user_id or flow_id,
+                          on_data=self._count_bytes)
+        path = self.path
+
+        def finished(now: float, rec=record, c=conn, fid=flow_id):
+            rec.completion_time = now
+            path.dst_host.detach(fid)
+            path.src_host.detach(fid)
+
+        conn.sender.on_complete = finished
+        conn.sender.write(size)
+        conn.sender.close()
+        self._schedule_next_arrival()
+
+    def _count_bytes(self, nbytes: int, now: float) -> None:
+        self._delivered += nbytes
+
+    @property
+    def delivered_bytes(self) -> int:
+        return self._delivered
+
+    @property
+    def completed_flows(self) -> list[FlowRecord]:
+        return [r for r in self.records if r.completion_time is not None]
+
+    def offered_load(self) -> float:
+        """Long-run offered load in bytes/second (rate x mean size)."""
+        if not self.records:
+            return 0.0
+        mean = sum(r.size for r in self.records) / len(self.records)
+        return self.arrival_rate * mean

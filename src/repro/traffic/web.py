@@ -1,0 +1,114 @@
+"""Web-browsing ON/OFF workload.
+
+A user "clicks" at random think-time intervals; each click fetches a
+page: a burst of parallel short transfers (HTML + assets).  Between
+clicks the connection pool is idle.  This is the short-flow,
+application-limited traffic §2.2 says dominates flow counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cca.cubic import CubicCca
+from ..errors import ConfigError
+from ..sim.engine import Simulator
+from ..sim.network import PathHandles
+from ..tcp.endpoint import Connection
+from .base import TrafficSource
+
+
+class WebBrowsingUser(TrafficSource):
+    """One browsing user: think, click, fetch a page, repeat.
+
+    Args:
+        think_time: mean exponential think time between clicks (s).
+        objects_per_page: mean number of objects per page (geometric).
+        object_mean_bytes: mean object size (log-normal).
+        parallelism: maximum simultaneous connections per page.
+    """
+
+    def __init__(self, sim: Simulator, path: PathHandles,
+                 think_time: float = 5.0, objects_per_page: float = 8.0,
+                 object_mean_bytes: float = 80_000,
+                 parallelism: int = 6, cca_factory=CubicCca,
+                 seed: int = 0, prefix: str = "web", user_id: str = ""):
+        if think_time <= 0 or objects_per_page < 1:
+            raise ConfigError("invalid think_time or objects_per_page")
+        self.sim = sim
+        self.path = path
+        self.think_time = think_time
+        self.objects_per_page = objects_per_page
+        self.object_mean_bytes = object_mean_bytes
+        self.parallelism = parallelism
+        self.cca_factory = cca_factory
+        self.prefix = prefix
+        self.user_id = user_id or prefix
+        self._rng = np.random.default_rng(seed)
+        self._running = False
+        self._counter = 0
+        self._delivered = 0
+        self.pages_loaded = 0
+        self.page_load_times: list[float] = []
+
+    def start(self) -> None:
+        self._running = True
+        self.sim.schedule(self._rng.exponential(self.think_time),
+                          self._click)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _click(self) -> None:
+        if not self._running:
+            return
+        n_objects = 1 + int(self._rng.geometric(
+            1.0 / self.objects_per_page))
+        sizes = [max(500, int(self._rng.lognormal(
+            np.log(self.object_mean_bytes) - 0.5, 1.0)))
+            for _ in range(n_objects)]
+        page_start = self.sim.now
+        pending = {"objects": list(sizes), "inflight": 0}
+
+        def fetch_more():
+            while (pending["objects"]
+                    and pending["inflight"] < self.parallelism):
+                size = pending["objects"].pop()
+                pending["inflight"] += 1
+                self._fetch_object(size, object_done)
+
+        def object_done(now: float):
+            pending["inflight"] -= 1
+            if pending["objects"]:
+                fetch_more()
+            elif pending["inflight"] == 0:
+                self.pages_loaded += 1
+                self.page_load_times.append(now - page_start)
+                self.sim.schedule(
+                    self._rng.exponential(self.think_time), self._click)
+
+        fetch_more()
+
+    def _fetch_object(self, size: int, done) -> None:
+        self._counter += 1
+        flow_id = f"{self.prefix}-{self._counter}"
+        conn = Connection(self.sim, self.path, flow_id, self.cca_factory(),
+                          user_id=self.user_id,
+                          on_data=lambda n, t: self._count(n))
+        path = self.path
+
+        def finished(now: float):
+            path.dst_host.detach(flow_id)
+            path.src_host.detach(flow_id)
+            done(now)
+
+        conn.sender.on_complete = finished
+        conn.sender.write(size)
+        conn.sender.close()
+
+    def _count(self, nbytes: int) -> None:
+        self._delivered += nbytes
+
+    @property
+    def delivered_bytes(self) -> int:
+        return self._delivered

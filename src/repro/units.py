@@ -1,0 +1,77 @@
+"""Unit conventions and conversion helpers.
+
+Internal conventions used throughout the package:
+
+* time        -- seconds (float)
+* data        -- bytes (int where possible)
+* rate        -- bytes per second (float)
+* cwnd        -- packets (float; fractional windows are meaningful for AIMD)
+
+External interfaces (CLI flags, experiment configs, the paper's prose) speak
+in megabits per second and milliseconds; these helpers translate at the
+boundary so the core never mixes units.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+#: Default maximum segment size (payload bytes per packet), matching the
+#: common Ethernet MTU minus typical TCP/IP headers.
+DEFAULT_MSS = 1448
+
+#: Default full packet size on the wire (MSS plus 52 bytes of headers).
+DEFAULT_PACKET_SIZE = 1500
+
+#: Size of a bare ACK segment on the wire.
+ACK_SIZE = 64
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return value * MEGA / BITS_PER_BYTE
+
+
+def to_mbps(rate_bps: float) -> float:
+    """Convert bytes/second to megabits/second."""
+    return rate_bps * BITS_PER_BYTE / MEGA
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/second to bytes/second."""
+    return value * KILO / BITS_PER_BYTE
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value / 1_000.0
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1_000.0
+
+
+def usec(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value / 1_000_000.0
+
+
+def to_usec(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1_000_000.0
+
+
+def bdp_bytes(rate_bps: float, rtt_s: float) -> float:
+    """Bandwidth-delay product in bytes."""
+    return rate_bps * rtt_s
+
+
+def bdp_packets(rate_bps: float, rtt_s: float,
+                packet_size: int = DEFAULT_PACKET_SIZE) -> float:
+    """Bandwidth-delay product in packets of ``packet_size`` bytes."""
+    return bdp_bytes(rate_bps, rtt_s) / packet_size

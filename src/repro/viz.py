@@ -1,0 +1,126 @@
+"""Text-mode visualization: ASCII line charts and CDF plots.
+
+The execution environment has no plotting stack, so figures are
+rendered as unicode charts on stdout and their backing data written as
+CSV by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .errors import AnalysisError
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode sparkline of a series."""
+    vals = list(values)
+    if not vals:
+        raise AnalysisError("cannot sparkline an empty series")
+    if len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo if hi > lo else 1.0
+    return "".join(
+        _BLOCKS[1 + int((v - lo) / span * (len(_BLOCKS) - 2))] for v in vals)
+
+
+def line_chart(xs: Sequence[float], ys: Sequence[float], width: int = 70,
+               height: int = 15, title: str = "", x_label: str = "",
+               y_label: str = "",
+               phases: Sequence[tuple[float, str]] | None = None) -> str:
+    """Render an (x, y) series as an ASCII chart.
+
+    Args:
+        phases: optional (start_x, name) markers drawn as a footer rule.
+    """
+    if len(xs) != len(ys) or not xs:
+        raise AnalysisError("need equal-length, non-empty xs and ys")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = "•"
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = 10
+    for i, row in enumerate(grid):
+        value = y_hi - (y_hi - y_lo) * i / (height - 1)
+        prefix = f"{value:>{label_width}.3g} |" if i % 3 == 0 \
+            else " " * label_width + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_axis = (f"{x_lo:<12.4g}" + " " * max(0, width - 24)
+              + f"{x_hi:>12.4g}")
+    lines.append(" " * (label_width + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (label_width + 1)
+                     + f"x: {x_label}    y: {y_label}")
+    if phases:
+        marker_row = [" "] * width
+        for start, name in phases:
+            col = int((start - x_lo) / (x_hi - x_lo) * (width - 1))
+            for j, ch in enumerate("|" + name):
+                if 0 <= col + j < width:
+                    marker_row[col + j] = ch
+        lines.append(" " * (label_width + 1) + "".join(marker_row))
+    return "\n".join(lines)
+
+
+def cdf_chart(values: Sequence[float], width: int = 70, height: int = 12,
+              title: str = "", x_label: str = "") -> str:
+    """Render an empirical CDF as an ASCII chart."""
+    vals = sorted(values)
+    if not vals:
+        raise AnalysisError("cannot chart an empty CDF")
+    fracs = [(i + 1) / len(vals) for i in range(len(vals))]
+    return line_chart(vals, fracs, width=width, height=height,
+                      title=title, x_label=x_label, y_label="CDF")
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, title: str = "",
+              fmt: str = "{:.3g}") -> str:
+    """Horizontal bar chart with labels."""
+    if len(labels) != len(values) or not labels:
+        raise AnalysisError("need equal-length, non-empty labels/values")
+    peak = max(values) if max(values) > 0 else 1.0
+    label_width = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for lab, val in zip(labels, values):
+        bar = "█" * max(0, int(val / peak * width))
+        lines.append(f"{lab:>{label_width}} | {bar} {fmt.format(val)}")
+    return "\n".join(lines)
+
+
+def table(rows: Sequence[Sequence], header: Sequence[str]) -> str:
+    """A plain aligned text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(f"{c:<{w}}" for c, w in zip(row, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(header), sep, *(fmt(r) for r in str_rows)])
+
+
+def format_rate(rate_bps: float) -> str:
+    """Human-readable bytes/second rate as Mbit/s."""
+    if not math.isfinite(rate_bps):
+        return "inf"
+    return f"{rate_bps * 8 / 1e6:.2f} Mbit/s"

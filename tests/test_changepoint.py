@@ -1,0 +1,131 @@
+"""Unit and property tests for change-point detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (binary_segmentation, pelt,
+                            throughput_level_shift)
+from repro.analysis.changepoint import L2Cost, NormalMeanVarCost
+
+
+def noisy_steps(levels, seg_len=50, noise=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    signal = np.concatenate([
+        np.full(seg_len, lvl) + rng.normal(0, noise, seg_len)
+        for lvl in levels
+    ])
+    return signal
+
+
+class TestL2Cost:
+    def test_constant_segment_costs_zero(self):
+        cost = L2Cost(np.full(20, 3.0))
+        assert cost.cost(0, 20) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=30)
+        cost = L2Cost(x)
+        seg = x[5:20]
+        direct = float(np.sum((seg - seg.mean()) ** 2))
+        assert cost.cost(5, 20) == pytest.approx(direct)
+
+    def test_split_never_increases_cost(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=50)
+        cost = L2Cost(x)
+        whole = cost.cost(0, 50)
+        for i in range(1, 50):
+            assert cost.cost(0, i) + cost.cost(i, 50) <= whole + 1e-9
+
+
+@pytest.mark.parametrize("detect", [pelt, binary_segmentation])
+class TestDetectors:
+    def test_no_change_in_constant_signal(self, detect):
+        result = detect(noisy_steps([5.0], seg_len=200))
+        assert result.num_changes == 0
+
+    def test_finds_single_big_shift(self, detect):
+        signal = noisy_steps([10.0, 20.0], seg_len=100, seed=3)
+        result = detect(signal)
+        assert result.num_changes >= 1
+        # At least one breakpoint near the true change at index 100.
+        assert any(abs(bp - 100) <= 5 for bp in result.breakpoints)
+
+    def test_finds_two_shifts(self, detect):
+        signal = noisy_steps([5.0, 15.0, 2.0], seg_len=80, seed=4)
+        result = detect(signal)
+        found = sorted(result.breakpoints)
+        assert any(abs(bp - 80) <= 5 for bp in found)
+        assert any(abs(bp - 160) <= 5 for bp in found)
+
+    def test_short_signal_returns_empty(self, detect):
+        result = detect([1.0, 2.0])
+        assert result.num_changes == 0
+
+    def test_segments_partition_signal(self, detect):
+        signal = noisy_steps([1.0, 9.0], seg_len=60, seed=5)
+        result = detect(signal)
+        segs = result.segments
+        assert segs[0][0] == 0
+        assert segs[-1][1] == len(signal)
+        for (a, b), (c, d) in zip(segs, segs[1:]):
+            assert b == c
+
+    def test_high_penalty_suppresses_detection(self, detect):
+        signal = noisy_steps([10.0, 10.5], seg_len=60, seed=6)
+        result = detect(signal, penalty=1e9)
+        assert result.num_changes == 0
+
+
+class TestPeltSpecifics:
+    def test_pelt_exactness_on_clean_steps(self):
+        signal = np.concatenate([np.zeros(50), np.ones(50) * 10])
+        result = pelt(signal, penalty=1.0)
+        assert result.breakpoints == (50,)
+
+    def test_normal_cost_detects_variance_change(self):
+        rng = np.random.default_rng(7)
+        signal = np.concatenate([
+            rng.normal(0, 0.1, 150),
+            rng.normal(0, 3.0, 150),
+        ])
+        result = pelt(signal, penalty=10.0, cost_class=NormalMeanVarCost,
+                      min_segment=5)
+        assert any(abs(bp - 150) <= 10 for bp in result.breakpoints)
+
+
+class TestLevelShiftFilter:
+    def test_small_shift_filtered_out(self):
+        signal = noisy_steps([100.0, 104.0], seg_len=100, noise=0.5, seed=8)
+        result = throughput_level_shift(signal, min_relative_shift=0.2)
+        assert result.num_changes == 0
+
+    def test_large_shift_kept(self):
+        signal = noisy_steps([100.0, 40.0], seg_len=100, noise=0.5, seed=9)
+        result = throughput_level_shift(signal, min_relative_shift=0.2)
+        assert result.num_changes >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100,
+                          allow_nan=False), min_size=4, max_size=120))
+def test_property_breakpoints_sorted_and_in_range(values):
+    result = pelt(values)
+    bps = result.breakpoints
+    assert list(bps) == sorted(bps)
+    assert all(0 < bp < len(values) for bp in bps)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=10, max_value=60),
+       st.floats(min_value=5.0, max_value=50.0),
+       st.integers(min_value=0, max_value=1000))
+def test_property_detects_planted_shift(seg_len, magnitude, seed):
+    signal = noisy_steps([0.0, magnitude], seg_len=seg_len,
+                         noise=0.2, seed=seed)
+    result = pelt(signal)
+    assert result.num_changes >= 1
+    assert any(abs(bp - seg_len) <= max(3, seg_len // 10)
+               for bp in result.breakpoints)

@@ -1,0 +1,138 @@
+"""Tests for DCTCP (ECN-proportional) and LEDBAT (scavenger) CCAs."""
+
+import pytest
+
+from repro.cca import DctcpCca, LedbatCca, RenoCca
+from repro.cca.base import AckSample
+from repro.errors import ConfigError
+from repro.qdisc import RedQueue
+from repro.sim import Simulator, dumbbell
+from repro.tcp import Connection
+from repro.units import mbps, ms, to_mbps
+
+
+def ack(now=1.0, acked=1448, rtt=0.01, min_rtt=0.01, srtt=0.01,
+        inflight=14480, delivered=100_000, ecn=False,
+        in_recovery=False):
+    return AckSample(now=now, acked_bytes=acked, rtt=rtt, min_rtt=min_rtt,
+                     srtt=srtt, inflight_bytes=inflight,
+                     delivery_rate=None, delivery_rate_app_limited=False,
+                     delivered_total=delivered, in_recovery=in_recovery,
+                     ecn_echo=ecn)
+
+
+class TestDctcpUnits:
+    def test_alpha_decays_without_marks(self):
+        cca = DctcpCca(g=0.5)
+        delivered = 0
+        for i in range(10):
+            delivered += 20_000
+            cca.on_ack(ack(now=0.01 * i, delivered=delivered,
+                           inflight=10_000))
+        assert cca.alpha < 0.1
+
+    def test_full_marking_keeps_alpha_high(self):
+        cca = DctcpCca(g=0.5)
+        delivered = 0
+        for i in range(10):
+            delivered += 20_000
+            cca.on_ack(ack(now=0.01 * i, delivered=delivered,
+                           inflight=10_000, ecn=True))
+        assert cca.alpha > 0.9
+
+    def test_reduction_proportional_to_alpha(self):
+        def make(alpha):
+            cca = DctcpCca(initial_cwnd=100.0)
+            cca.ssthresh = 50.0  # exit slow start
+            cca.alpha = alpha
+            cca._reduced_this_window = False
+            cca._window_end_delivered = 1 << 40  # stay in this window
+            return cca
+
+        mild = make(0.1)
+        mild.on_ack(ack(ecn=True))
+        assert mild.cwnd == pytest.approx(95.0)
+
+        harsh = make(1.0)
+        harsh.on_ack(ack(ecn=True))
+        assert harsh.cwnd == pytest.approx(50.0)
+
+    def test_one_reduction_per_window(self):
+        cca = DctcpCca(initial_cwnd=100.0)
+        cca.ssthresh = 50.0
+        cca.alpha = 1.0
+        cca._window_end_delivered = 1 << 40  # keep same window
+        cca.on_ack(ack(ecn=True, delivered=100))
+        after_first = cca.cwnd
+        cca.on_ack(ack(ecn=True, delivered=200))
+        # No second cut (only ~one packet of CA growth).
+        assert cca.cwnd == pytest.approx(after_first, rel=0.01)
+        assert cca.cwnd >= after_first
+
+    def test_loss_still_halves(self):
+        cca = DctcpCca(initial_cwnd=40.0)
+        cca.on_loss(1.0, 1448)
+        assert cca.cwnd == pytest.approx(20.0)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ConfigError):
+            DctcpCca(g=0.0)
+
+    def test_integration_low_queue_high_utilization(self):
+        # DCTCP on a step-marking RED queue keeps the queue short
+        # while using the link well -- the §2.3 datacenter property.
+        sim = Simulator()
+        red = RedQueue(min_thresh=10, max_thresh=11, limit_packets=200,
+                       max_p=1.0, weight=1.0, ecn=True)
+        path = dumbbell(sim, mbps(100), ms(2), qdisc=red)
+        conn = Connection(sim, path, "dctcp", DctcpCca(), ecn=True)
+        conn.sender.set_infinite_backlog()
+        sim.run(until=5.0)
+        goodput = to_mbps(conn.receiver.received_bytes / 5.0)
+        assert goodput > 70.0
+        assert red.drops < 20  # marks, not drops
+
+
+class TestLedbatUnits:
+    def test_grows_below_target(self):
+        cca = LedbatCca(initial_cwnd=10.0, target=0.025)
+        cca.on_ack(ack(rtt=0.010, min_rtt=0.010))  # zero queueing
+        assert cca.cwnd > 10.0
+
+    def test_shrinks_above_target(self):
+        cca = LedbatCca(initial_cwnd=10.0, target=0.025)
+        cca.on_ack(ack(rtt=0.100, min_rtt=0.010))  # 90 ms queueing
+        assert cca.cwnd < 10.0
+
+    def test_equilibrium_at_target(self):
+        cca = LedbatCca(initial_cwnd=10.0, target=0.025)
+        cca.on_ack(ack(rtt=0.035, min_rtt=0.010))  # exactly on target
+        assert cca.cwnd == pytest.approx(10.0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigError):
+            LedbatCca(target=0.0)
+
+    def test_integration_yields_to_reno(self):
+        # The scavenger property: LEDBAT gets out of the way.
+        sim = Simulator()
+        path = dumbbell(sim, mbps(20), ms(40), buffer_multiplier=2.0)
+        ledbat = Connection(sim, path, "bg", LedbatCca())
+        ledbat.sender.set_infinite_backlog()
+        sim.run(until=10.0)  # LEDBAT alone first (slow additive ramp)
+        alone = ledbat.receiver.received_bytes
+        reno = Connection(sim, path, "fg", RenoCca())
+        reno.sender.set_infinite_backlog()
+        sim.run(until=30.0)
+        fg = reno.receiver.received_bytes
+        bg = ledbat.receiver.received_bytes - alone
+        assert to_mbps(alone / 10.0) > 10.0     # uses idle capacity
+        assert fg > 4 * bg                      # then yields hard
+
+    def test_integration_saturates_alone(self):
+        sim = Simulator()
+        path = dumbbell(sim, mbps(20), ms(40))
+        conn = Connection(sim, path, "bg", LedbatCca())
+        conn.sender.set_infinite_backlog()
+        sim.run(until=10.0)
+        assert to_mbps(conn.receiver.received_bytes / 10.0) > 15.0

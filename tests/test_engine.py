@@ -1,0 +1,156 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_starts_at_time_zero():
+    assert Simulator().now == 0.0
+
+
+def test_runs_callback_at_scheduled_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_run_fifo():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.schedule(1.0, lambda lab=label: order.append(lab))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run(until=2.5)
+    assert sim.now == 2.5
+    assert sim.pending == 1
+
+
+def test_run_until_resumes():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run(until=2.5)
+    assert seen == []
+    sim.run(until=10.0)
+    assert seen == [5.0]
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def tick():
+        seen.append(sim.now)
+        if sim.now < 3.0:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(1.0, lambda: seen.append("x"))
+    event.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1))
+    sim.schedule(2.0, lambda: seen.append(2))
+    assert sim.step() is True
+    assert seen == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def naughty():
+        sim.run()
+
+    sim.schedule(1.0, naughty)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_property_execution_order_is_sorted(delays):
+    sim = Simulator()
+    times = []
+    for d in delays:
+        sim.schedule(d, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=30),
+       st.integers(min_value=0, max_value=29))
+def test_property_cancellation_removes_exactly_one(delays, cancel_idx):
+    sim = Simulator()
+    count = [0]
+    events = [sim.schedule(d, lambda: count.__setitem__(0, count[0] + 1))
+              for d in delays]
+    events[cancel_idx % len(events)].cancel()
+    sim.run()
+    assert count[0] == len(delays) - 1

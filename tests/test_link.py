@@ -1,0 +1,189 @@
+"""Unit tests for links, delay boxes, loss boxes, and trace links."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.qdisc import DropTailQueue, TokenBucketFilter
+from repro.sim import (CountingSink, DelayBox, Link, LossBox, Simulator,
+                       TraceLink)
+from repro.sim.packet import make_data
+from repro.units import mbps
+
+
+def pkt(flow="f", size=1500):
+    return make_data(flow, seq=0, payload=size - 52, size=size)
+
+
+class TestLink:
+    def test_serialization_delay(self):
+        sim = Simulator()
+        sink = CountingSink()
+        arrivals = []
+        link = Link(sim, rate=1500.0, sink=sink)  # 1 packet per second
+        link.add_tap(lambda p, now: arrivals.append(now))
+        link.send(pkt(size=1500))
+        sim.run()
+        assert arrivals == [1.0]
+
+    def test_back_to_back_packets_queue(self):
+        sim = Simulator()
+        sink = CountingSink()
+        arrivals = []
+        link = Link(sim, rate=1500.0, sink=sink)
+        link.add_tap(lambda p, now: arrivals.append(now))
+        link.send(pkt())
+        link.send(pkt())
+        link.send(pkt())
+        sim.run()
+        assert arrivals == [1.0, 2.0, 3.0]
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        link = Link(sim, rate=1500.0, sink=CountingSink(),
+                    qdisc=DropTailQueue(limit_packets=2))
+        for _ in range(5):
+            link.send(pkt())
+        sim.run()
+        # 1 in flight + 2 queued accepted; rest dropped.
+        assert link.qdisc.drops == 2
+        assert link.delivered_packets == 3
+
+    def test_per_flow_accounting(self):
+        sim = Simulator()
+        link = Link(sim, rate=mbps(10), sink=CountingSink(),
+                    qdisc=DropTailQueue(limit_packets=100))
+        link.send(pkt("a", size=1000))
+        link.send(pkt("b", size=500))
+        link.send(pkt("a", size=200))
+        sim.run()
+        assert link.flow_bytes("a") == 1200
+        assert link.flow_bytes("b") == 500
+        assert link.flow_bytes("nobody") == 0
+
+    def test_rate_change_applies_to_next_packet(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, rate=1500.0, sink=CountingSink())
+        link.add_tap(lambda p, now: arrivals.append(now))
+        link.send(pkt())
+        sim.run()
+        link.set_rate(3000.0)
+        link.send(pkt())
+        sim.run()
+        assert arrivals == pytest.approx([1.0, 1.5])
+
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            Link(sim, rate=0.0)
+        link = Link(sim, rate=100.0)
+        with pytest.raises(ConfigError):
+            link.set_rate(-1.0)
+
+    def test_token_gated_qdisc_wakes_link(self):
+        # A TBF inside a fast link: the link must poll again when
+        # tokens refill, not stall forever.
+        sim = Simulator()
+        arrivals = []
+        tbf = TokenBucketFilter(rate=1514.0, burst=1514)  # 1 pkt/s
+        link = Link(sim, rate=1e9, sink=CountingSink(), qdisc=tbf)
+        link.add_tap(lambda p, now: arrivals.append(now))
+        link.send(pkt(size=1514))
+        link.send(pkt(size=1514))
+        sim.run(until=5.0)
+        assert len(arrivals) == 2
+        assert arrivals[1] >= 1.0
+
+    def test_busy_time_tracks_utilization(self):
+        sim = Simulator()
+        link = Link(sim, rate=1500.0, sink=CountingSink())
+        link.send(pkt(size=750))
+        sim.run()
+        assert link.busy_time == pytest.approx(0.5)
+
+
+class TestDelayBox:
+    def test_adds_fixed_delay(self):
+        sim = Simulator()
+        sink = CountingSink()
+        arrivals = []
+        box = DelayBox(sim, delay=0.05, sink=sink)
+        box.send(pkt())
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert sink.packets == 1
+
+    def test_is_infinite_capacity(self):
+        sim = Simulator()
+        sink = CountingSink()
+        box = DelayBox(sim, delay=0.01, sink=sink)
+        for _ in range(100):
+            box.send(pkt())
+        sim.run()
+        assert sink.packets == 100
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            DelayBox(Simulator(), delay=-0.1)
+
+
+class TestLossBox:
+    def test_zero_loss_passes_everything(self):
+        sim = Simulator()
+        sink = CountingSink()
+        box = LossBox(sim, loss_rate=0.0, sink=sink)
+        for _ in range(50):
+            box.send(pkt())
+        assert sink.packets == 50
+
+    def test_half_loss_drops_roughly_half(self):
+        sim = Simulator()
+        sink = CountingSink()
+        box = LossBox(sim, loss_rate=0.5, sink=sink, seed=42)
+        for _ in range(1000):
+            box.send(pkt())
+        assert 400 < sink.packets < 600
+        assert box.dropped == 1000 - sink.packets
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            LossBox(Simulator(), loss_rate=1.0)
+
+
+class TestTraceLink:
+    def test_one_packet_per_opportunity(self):
+        sim = Simulator()
+        sink = CountingSink()
+        arrivals = []
+        link = TraceLink(sim, [10, 20, 30], sink=sink)
+        link.add_tap(lambda p, now: arrivals.append(now))
+        for _ in range(3):
+            link.send(pkt())
+        sim.run(until=0.05)
+        assert arrivals == pytest.approx([0.010, 0.020, 0.030])
+
+    def test_trace_repeats_with_period(self):
+        sim = Simulator()
+        sink = CountingSink()
+        arrivals = []
+        link = TraceLink(sim, [10, 20], sink=sink)
+        link.add_tap(lambda p, now: arrivals.append(now))
+        for _ in range(4):
+            link.send(pkt())
+        sim.run(until=0.06)
+        assert arrivals == pytest.approx([0.010, 0.020, 0.030, 0.040])
+
+    def test_idle_opportunities_are_wasted(self):
+        sim = Simulator()
+        link = TraceLink(sim, [10, 20], sink=CountingSink())
+        sim.run(until=0.05)
+        assert link.wasted_opportunities >= 4
+        assert link.delivered_packets == 0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceLink(Simulator(), [])
+
+    def test_decreasing_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceLink(Simulator(), [20, 10])

@@ -1,0 +1,67 @@
+"""Tests for queue and utilization monitors."""
+
+import pytest
+
+from repro.cca import CubicCca, VegasCca
+from repro.errors import ConfigError
+from repro.sim import QueueMonitor, Simulator, UtilizationMonitor, dumbbell
+from repro.tcp import Connection
+from repro.units import mbps, ms
+
+
+def test_queue_monitor_sees_standing_queue():
+    sim = Simulator()
+    path = dumbbell(sim, mbps(10), ms(40), buffer_multiplier=2.0)
+    monitor = QueueMonitor(sim, path.bottleneck.qdisc, interval=0.05)
+    monitor.start()
+    conn = Connection(sim, path, "f", CubicCca())
+    conn.sender.set_infinite_backlog()
+    sim.run(until=15.0)
+    stats = monitor.occupancy_stats()
+    assert stats["max_packets"] > 10
+    assert stats["mean_bytes"] > 0
+    assert monitor.standing_delay(mbps(10)) >= 0
+
+
+def test_queue_monitor_idle_link_is_empty():
+    sim = Simulator()
+    path = dumbbell(sim, mbps(10), ms(40))
+    monitor = QueueMonitor(sim, path.bottleneck.qdisc)
+    monitor.start()
+    sim.run(until=2.0)
+    assert monitor.occupancy_stats()["max_packets"] == 0
+
+
+def test_queue_monitor_stop():
+    sim = Simulator()
+    path = dumbbell(sim, mbps(10), ms(40))
+    monitor = QueueMonitor(sim, path.bottleneck.qdisc, interval=0.1)
+    monitor.start()
+    sim.run(until=1.0)
+    monitor.stop()
+    n = len(monitor.times)
+    sim.run(until=2.0)
+    assert len(monitor.times) == n
+
+
+def test_utilization_monitor_tracks_saturation():
+    sim = Simulator()
+    path = dumbbell(sim, mbps(10), ms(40))
+    monitor = UtilizationMonitor(sim, path.bottleneck, interval=0.5)
+    monitor.start()
+    conn = Connection(sim, path, "f", VegasCca())
+    conn.sender.set_infinite_backlog()
+    sim.run(until=15.0)
+    assert monitor.mean_utilization > 0.8
+    assert max(monitor.utilization) <= 1.05
+
+
+def test_monitors_reject_bad_config():
+    sim = Simulator()
+    path = dumbbell(sim, mbps(10), ms(40))
+    with pytest.raises(ConfigError):
+        QueueMonitor(sim, path.bottleneck.qdisc, interval=0)
+    with pytest.raises(ConfigError):
+        UtilizationMonitor(sim, path.bottleneck, interval=-1)
+    with pytest.raises(ConfigError):
+        QueueMonitor(sim, path.bottleneck.qdisc).occupancy_stats()

@@ -1,0 +1,199 @@
+"""Tests for the NDT schema, synthetic population, filters, and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigError
+from repro.ndt import (FlowCategory, NdtDataset, NdtRecord,
+                       PopulationModel, SyntheticNdtGenerator, analyse_flow,
+                       categorize, infer_cellular, is_app_limited,
+                       is_rwnd_limited, run_pipeline)
+from repro.tcp.tcp_info import TcpInfoSnapshot
+
+
+def snap(elapsed_s, acked, app_us=0.0, rwnd_us=0.0, tput=1e6):
+    return TcpInfoSnapshot(
+        elapsed_time_us=elapsed_s * 1e6, bytes_acked=acked,
+        bytes_sent=acked, bytes_retrans=0, busy_time_us=elapsed_s * 1e6,
+        rwnd_limited_us=rwnd_us, app_limited_us=app_us,
+        cwnd_limited_us=0.0, min_rtt_s=0.02, smoothed_rtt_s=0.03,
+        throughput_bps=tput, retransmits=0)
+
+
+def record(snaps=None, access="cable", app_us=0.0, rwnd_us=0.0,
+           rates=None, true_contention=False):
+    if snaps is None:
+        rates = rates if rates is not None else [1e6] * 10
+        acked, snaps, total = 0, [], 0.0
+        for i, rate in enumerate(rates):
+            total += 1.0
+            acked += int(rate)
+            snaps.append(snap(total, acked, app_us=app_us,
+                              rwnd_us=rwnd_us, tput=rate))
+    return NdtRecord(uuid="t", duration_s=10.0, access_type=access,
+                     access_rate_bps=10e6, snapshots=tuple(snaps),
+                     true_contention=true_contention)
+
+
+class TestSchema:
+    def test_throughput_series_from_snapshots(self):
+        rec = record(rates=[1e6, 2e6, 3e6])
+        series = rec.throughput_series()
+        assert series == pytest.approx([2e6, 3e6])
+
+    def test_mean_throughput(self):
+        rec = record(rates=[2e6] * 10)
+        assert rec.mean_throughput_bps == pytest.approx(2e6)
+
+    def test_requires_two_snapshots(self):
+        with pytest.raises(AnalysisError):
+            NdtRecord(uuid="x", duration_s=1.0, access_type="cable",
+                      access_rate_bps=1e6, snapshots=(snap(1.0, 100),))
+
+    def test_unknown_access_type_rejected(self):
+        with pytest.raises(AnalysisError):
+            record(access="carrier-pigeon")
+
+    def test_json_round_trip(self):
+        rec = record(rates=[1e6, 2e6, 3e6], true_contention=True)
+        clone = NdtRecord.from_json(rec.to_json())
+        assert clone.uuid == rec.uuid
+        assert clone.true_contention
+        assert clone.throughput_series() == pytest.approx(
+            rec.throughput_series())
+
+    def test_dataset_jsonl_round_trip(self, tmp_path):
+        ds = SyntheticNdtGenerator(seed=3).generate(20)
+        path = tmp_path / "data.jsonl"
+        ds.save_jsonl(path)
+        loaded = NdtDataset.load_jsonl(path)
+        assert len(loaded) == 20
+        assert loaded.records[0].uuid == ds.records[0].uuid
+
+
+class TestFilters:
+    def test_app_limited_detection(self):
+        assert is_app_limited(record(app_us=1.0))
+        assert not is_app_limited(record())
+
+    def test_rwnd_limited_detection(self):
+        assert is_rwnd_limited(record(rwnd_us=1.0))
+        assert not is_rwnd_limited(record())
+
+    def test_cellular_by_metadata(self):
+        assert infer_cellular(record(access="cellular"))
+        assert infer_cellular(record(access="satellite"))
+
+    def test_cellular_by_variability(self):
+        rng = np.random.default_rng(0)
+        wild = [5e6 * float(np.exp(rng.normal(0, 0.5)))
+                for _ in range(20)]
+        assert infer_cellular(record(access="cable", rates=wild))
+        assert not infer_cellular(record(access="cable",
+                                         rates=[5e6] * 20))
+
+    def test_categorize_order(self):
+        # App-limited wins even if also cellular.
+        rec = record(access="cellular", app_us=5.0)
+        assert categorize(rec) is FlowCategory.APP_LIMITED
+        assert categorize(record(access="cellular")) \
+            is FlowCategory.CELLULAR
+        assert categorize(record()) is FlowCategory.REMAINING
+
+
+class TestSynth:
+    def test_generates_requested_count(self):
+        assert len(SyntheticNdtGenerator(seed=1).generate(50)) == 50
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticNdtGenerator(seed=9).generate(10)
+        b = SyntheticNdtGenerator(seed=9).generate(10)
+        for ra, rb in zip(a.records, b.records):
+            assert ra.to_json() == rb.to_json()
+
+    def test_seed_changes_data(self):
+        a = SyntheticNdtGenerator(seed=1).generate(5)
+        b = SyntheticNdtGenerator(seed=2).generate(5)
+        assert any(ra.to_json() != rb.to_json()
+                   for ra, rb in zip(a.records, b.records))
+
+    def test_class_mix_roughly_respected(self):
+        ds = SyntheticNdtGenerator(seed=5).generate(2000)
+        counts = {}
+        for rec in ds.records:
+            counts[rec.true_class] = counts.get(rec.true_class, 0) + 1
+        assert counts["app_limited"] / 2000 == pytest.approx(0.45,
+                                                             abs=0.05)
+        assert counts["policed"] / 2000 == pytest.approx(0.07, abs=0.03)
+
+    def test_contended_flows_flagged(self):
+        ds = SyntheticNdtGenerator(seed=5).generate(500)
+        contended = [r for r in ds.records
+                     if r.true_class == "bulk_contended"]
+        assert contended
+        assert all(r.true_contention for r in contended)
+        others = [r for r in ds.records
+                  if r.true_class != "bulk_contended"]
+        assert not any(r.true_contention for r in others)
+
+    def test_app_limited_records_have_positive_counter(self):
+        ds = SyntheticNdtGenerator(seed=6).generate(300)
+        for rec in ds.records:
+            if rec.true_class == "app_limited":
+                assert rec.app_limited_us > 0
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            PopulationModel(class_mix=(("app_limited", 0.5),))
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigError):
+            SyntheticNdtGenerator().generate(0)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        ds = SyntheticNdtGenerator(seed=42).generate(1000)
+        return run_pipeline(ds)
+
+    def test_counts_partition_dataset(self, result):
+        assert sum(result.counts.values()) == result.total == 1000
+
+    def test_majority_filtered(self, result):
+        # Paper shape: most flows are app/rwnd-limited or cellular.
+        assert result.fraction_filtered > 0.5
+
+    def test_possible_contention_small(self, result):
+        # Paper shape: only a small residual shows level shifts.
+        assert result.fraction_possible_contention < 0.25
+
+    def test_recall_on_clean_remaining_flows(self, result):
+        quality = result.detector_quality()
+        assert quality["recall"] > 0.9
+
+    def test_policed_flows_are_false_positives(self, result):
+        policed_hits = [f for f in result.flows
+                        if f.true_class == "policed"
+                        and f.inferred_contention]
+        assert policed_hits, (
+            "policed flows should trip the change-point detector -- "
+            "that ambiguity is the paper's motivation for active "
+            "measurement")
+
+    def test_bulk_clean_rarely_flagged(self, result):
+        clean = [f for f in result.flows
+                 if f.true_class == "bulk_clean"
+                 and f.category is FlowCategory.REMAINING]
+        flagged = sum(1 for f in clean if f.inferred_contention)
+        assert flagged / max(1, len(clean)) < 0.2
+
+    def test_analyse_flow_on_contended_record(self):
+        gen = SyntheticNdtGenerator(seed=7)
+        ds = gen.generate(300)
+        contended = [r for r in ds.records
+                     if r.true_class == "bulk_contended"
+                     and r.access_type not in ("cellular", "satellite")]
+        hits = sum(1 for r in contended
+                   if analyse_flow(r).inferred_contention)
+        assert hits / len(contended) > 0.8

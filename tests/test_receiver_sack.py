@@ -1,0 +1,172 @@
+"""Unit tests for receiver reassembly, SACK generation, and sender
+scoreboard interaction (driven directly, no network)."""
+
+import pytest
+
+from repro.cca import RenoCca
+from repro.sim import Simulator
+from repro.sim.packet import Packet, PacketKind, make_data
+from repro.tcp.endpoint import TcpReceiver, TcpSender
+
+
+def data(seq, payload=1000, flow="f", retransmit=False, sent_time=0.0):
+    p = make_data(flow, seq=seq, payload=payload)
+    p.retransmit = retransmit
+    p.sent_time = sent_time
+    return p
+
+
+class TestReceiverReassembly:
+    def make(self):
+        sim = Simulator()
+        acks = []
+        receiver = TcpReceiver(sim, "f", transmit=acks.append)
+        return sim, receiver, acks
+
+    def test_in_order_advances(self):
+        sim, rx, acks = self.make()
+        rx.on_packet(data(0))
+        rx.on_packet(data(1000))
+        assert rx.rcv_nxt == 2000
+        assert [a.ack for a in acks] == [1000, 2000]
+
+    def test_gap_holds_cumulative_ack(self):
+        sim, rx, acks = self.make()
+        rx.on_packet(data(0))
+        rx.on_packet(data(2000))  # hole at 1000
+        assert rx.rcv_nxt == 1000
+        assert acks[-1].ack == 1000
+        assert acks[-1].sack_blocks == ((2000, 3000),)
+
+    def test_hole_fill_jumps_ack(self):
+        sim, rx, acks = self.make()
+        rx.on_packet(data(0))
+        rx.on_packet(data(2000))
+        rx.on_packet(data(3000))
+        rx.on_packet(data(1000))  # fills the hole
+        assert rx.rcv_nxt == 4000
+        assert acks[-1].ack == 4000
+        assert acks[-1].sack_blocks == ()
+
+    def test_multiple_disjoint_holes(self):
+        sim, rx, acks = self.make()
+        rx.on_packet(data(0))
+        rx.on_packet(data(2000))
+        rx.on_packet(data(4000))
+        assert len(acks[-1].sack_blocks) == 2
+        assert (2000, 3000) in acks[-1].sack_blocks
+        assert (4000, 5000) in acks[-1].sack_blocks
+
+    def test_sack_blocks_capped_at_three(self):
+        sim, rx, acks = self.make()
+        for seq in (1000, 3000, 5000, 7000, 9000):
+            rx.on_packet(data(seq))
+        assert len(acks[-1].sack_blocks) == 3
+
+    def test_duplicate_counted_not_delivered_twice(self):
+        sim, rx, acks = self.make()
+        rx.on_packet(data(0))
+        rx.on_packet(data(0))
+        assert rx.received_bytes == 1000
+        assert rx.duplicate_packets == 1
+
+    def test_karn_no_echo_for_retransmits(self):
+        sim, rx, acks = self.make()
+        rx.on_packet(data(0, retransmit=True, sent_time=5.0))
+        assert acks[-1].ack_of_sent_time is None
+        rx.on_packet(data(1000, sent_time=6.0))
+        assert acks[-1].ack_of_sent_time == 6.0
+
+    def test_on_data_callback_gets_in_order_bytes_only(self):
+        sim = Simulator()
+        got = []
+        rx = TcpReceiver(sim, "f", transmit=lambda p: None,
+                         on_data=lambda n, t: got.append(n))
+        rx.on_packet(data(1000))  # out of order: nothing delivered
+        assert got == []
+        rx.on_packet(data(0))     # delivers 2000 contiguous bytes
+        assert got == [2000]
+
+    def test_rwnd_advertised_relative_to_rcv_nxt(self):
+        sim = Simulator()
+        acks = []
+        rx = TcpReceiver(sim, "f", transmit=acks.append,
+                         rwnd_bytes=10_000)
+        rx.on_packet(data(0))
+        assert acks[-1].rwnd == 11_000
+
+    def test_ignores_ack_packets(self):
+        sim, rx, acks = self.make()
+        p = Packet("f", PacketKind.ACK, ack=500)
+        rx.on_packet(p)
+        assert rx.rcv_nxt == 0
+        assert acks == []
+
+
+class TestSenderScoreboard:
+    def make(self):
+        sim = Simulator()
+        sent = []
+        sender = TcpSender(sim, "f", RenoCca(initial_cwnd=50.0),
+                           transmit=sent.append, mss=1000)
+        return sim, sender, sent
+
+    def ack_packet(self, ack, sacks=()):
+        p = Packet("f", PacketKind.ACK, ack=ack)
+        p.sack_blocks = tuple(sacks)
+        return p
+
+    def test_pipe_tracks_sends_and_acks(self):
+        sim, tx, sent = self.make()
+        tx.write(5000)
+        assert tx.pipe_bytes == 5000
+        tx.on_packet(self.ack_packet(2000))
+        assert tx.pipe_bytes == 3000
+        assert tx.snd_una == 2000
+
+    def test_sack_reduces_pipe_without_advancing_una(self):
+        sim, tx, sent = self.make()
+        tx.write(5000)
+        tx.on_packet(self.ack_packet(0, sacks=[(2000, 3000)]))
+        assert tx.snd_una == 0
+        assert tx.pipe_bytes == 4000
+
+    def test_fack_loss_marking_triggers_retransmit(self):
+        sim, tx, sent = self.make()
+        tx.write(10_000)
+        assert len(sent) == 10
+        # SACK far above seq 0: segments 0..6000 are FACK-lost
+        # (threshold = 10000 - 3*1000).
+        tx.on_packet(self.ack_packet(0, sacks=[(9000, 10_000)]))
+        assert tx.in_recovery
+        retx = [p for p in sent if p.retransmit]
+        assert retx and retx[0].seq == 0
+
+    def test_one_md_per_window(self):
+        sim, tx, sent = self.make()
+        cca = tx.cca
+        tx.write(10_000)
+        before = cca.cwnd
+        tx.on_packet(self.ack_packet(0, sacks=[(9000, 10_000)]))
+        after_first = cca.cwnd
+        assert after_first < before
+        # Another SACK for the same window: no further decrease.
+        tx.on_packet(self.ack_packet(0, sacks=[(8000, 10_000)]))
+        assert cca.cwnd == after_first
+
+    def test_delivered_counts_sacked_bytes_once(self):
+        sim, tx, sent = self.make()
+        tx.write(5000)
+        tx.on_packet(self.ack_packet(0, sacks=[(2000, 3000)]))
+        assert tx.delivered == 1000
+        tx.on_packet(self.ack_packet(5000))
+        assert tx.delivered == 5000
+
+    def test_recovery_exits_at_recover_point(self):
+        sim, tx, sent = self.make()
+        tx.write(10_000)
+        tx.on_packet(self.ack_packet(0, sacks=[(9000, 10_000)]))
+        assert tx.in_recovery
+        tx.on_packet(self.ack_packet(10_000))
+        assert not tx.in_recovery
+        assert tx.pipe_bytes == 0

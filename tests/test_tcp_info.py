@@ -1,0 +1,67 @@
+"""Unit tests for TCPInfo limit-state accounting."""
+
+import pytest
+
+from repro.tcp import LimitState, TcpInfoTracker
+
+
+def test_initial_state_is_idle():
+    t = TcpInfoTracker()
+    assert t.state is LimitState.IDLE
+
+
+def test_durations_accumulate_per_state():
+    t = TcpInfoTracker(start_time=0.0)
+    t.set_state(LimitState.BUSY, 1.0)           # idle 0..1
+    t.set_state(LimitState.APP_LIMITED, 3.0)    # busy 1..3
+    t.set_state(LimitState.BUSY, 7.0)           # app  3..7
+    assert t.duration(LimitState.IDLE, 10.0) == pytest.approx(1.0)
+    assert t.duration(LimitState.BUSY, 10.0) == pytest.approx(2.0 + 3.0)
+    assert t.duration(LimitState.APP_LIMITED, 10.0) == pytest.approx(4.0)
+
+
+def test_current_state_duration_includes_open_interval():
+    t = TcpInfoTracker()
+    t.set_state(LimitState.RWND_LIMITED, 2.0)
+    assert t.duration(LimitState.RWND_LIMITED, 5.0) == pytest.approx(3.0)
+
+
+def test_snapshot_reports_microseconds():
+    t = TcpInfoTracker(start_time=0.0)
+    t.set_state(LimitState.APP_LIMITED, 0.0)
+    t.set_state(LimitState.BUSY, 2.0)
+    snap = t.snapshot(4.0)
+    assert snap.app_limited_us == pytest.approx(2_000_000)
+    assert snap.busy_time_us == pytest.approx(2_000_000)
+    assert snap.elapsed_time_us == pytest.approx(4_000_000)
+
+
+def test_snapshot_throughput_is_delta_based():
+    t = TcpInfoTracker(start_time=0.0)
+    t.bytes_acked = 1000
+    first = t.snapshot(1.0)
+    assert first.throughput_bps == pytest.approx(1000.0)
+    t.bytes_acked = 1000  # no progress
+    second = t.snapshot(2.0)
+    assert second.throughput_bps == 0.0
+    t.bytes_acked = 4000
+    third = t.snapshot(4.0)
+    assert third.throughput_bps == pytest.approx(1500.0)
+
+
+def test_busy_time_includes_window_limited_states():
+    t = TcpInfoTracker(start_time=0.0)
+    t.set_state(LimitState.CWND_LIMITED, 0.0)
+    t.set_state(LimitState.RWND_LIMITED, 1.0)
+    t.set_state(LimitState.BUSY, 2.0)
+    snap = t.snapshot(3.0)
+    assert snap.busy_time_us == pytest.approx(3_000_000)
+    assert snap.rwnd_limited_us == pytest.approx(1_000_000)
+    assert snap.cwnd_limited_us == pytest.approx(1_000_000)
+
+
+def test_rtt_fields_passed_through():
+    t = TcpInfoTracker()
+    snap = t.snapshot(1.0, min_rtt_s=0.05, smoothed_rtt_s=0.06)
+    assert snap.min_rtt_s == 0.05
+    assert snap.smoothed_rtt_s == 0.06
