@@ -1,0 +1,26 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree sources (PYTHONPATH=src), no install step needed.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-quick bench-full
+
+## tier-1 test suite (the CI gate)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## full paper-scale benchmark suite (minutes; add -s to stream reports)
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## quick perf smoke: timing-disabled core benches + the built-in bench
+bench-quick:
+	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest \
+		benchmarks/bench_perf_core.py benchmarks/bench_parallel.py \
+		--benchmark-disable -q
+	$(PYTHON) -m repro bench
+
+## paper-scale built-in bench (serial vs parallel wall clock)
+bench-full:
+	$(PYTHON) -m repro bench --full

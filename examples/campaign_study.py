@@ -22,7 +22,7 @@ def main() -> None:
                         fq_fraction=0.3)
     print(f"probing {len(campaign.specs)} paths...")
     result = campaign.run(
-        progress=lambda i, n: print(f"  path {i + 1}/{n}", end="\r"))
+        progress=lambda done, n: print(f"  {done}/{n} paths", end="\r"))
     print()
 
     groups = result.by_cross_traffic()

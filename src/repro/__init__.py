@@ -23,6 +23,9 @@ The package provides, bottom-up:
   time-series and distribution statistics.
 * :mod:`repro.experiments` -- runnable reproductions of the paper's
   figures and the ablations DESIGN.md calls out.
+* :mod:`repro.runtime` -- the process-pool parallel map the campaign,
+  the NDT pipeline, and parameter sweeps fan out over (deterministic:
+  serial and parallel runs are bit-for-bit identical).
 
 Quickstart::
 

@@ -48,6 +48,21 @@ class L2Cost:
         s2 = self._cum2[b] - self._cum2[a]
         return max(0.0, s2 - s * s / n)
 
+    def cost_batch(self, starts, ends) -> np.ndarray:
+        """Vectorized :meth:`cost` over arrays of segment bounds.
+
+        ``starts`` and ``ends`` broadcast against each other; every
+        resulting segment must be non-empty.  Identical arithmetic to
+        the scalar path (same IEEE-754 operations on the same prefix
+        sums), so results are bit-for-bit equal.
+        """
+        starts = np.asarray(starts)
+        ends = np.asarray(ends)
+        n = ends - starts
+        s = self._cum[ends] - self._cum[starts]
+        s2 = self._cum2[ends] - self._cum2[starts]
+        return np.maximum(0.0, s2 - s * s / n)
+
 
 class NormalMeanVarCost:
     """Negative log-likelihood cost for a Gaussian with free mean and
@@ -71,6 +86,18 @@ class NormalMeanVarCost:
         s2 = self._cum2[b] - self._cum2[a]
         var = max((s2 - s * s / n) / n, 1e-12)
         return n * (math.log(var) + 1.0 + math.log(2.0 * math.pi)) / 2.0
+
+    def cost_batch(self, starts, ends) -> np.ndarray:
+        """Vectorized :meth:`cost` over arrays of segment bounds."""
+        starts = np.asarray(starts)
+        ends = np.asarray(ends)
+        n = (ends - starts).astype(float)
+        s = self._cum[ends] - self._cum[starts]
+        s2 = self._cum2[ends] - self._cum2[starts]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            var = np.maximum((s2 - s * s / n) / n, 1e-12)
+            out = n * (np.log(var) + 1.0 + math.log(2.0 * math.pi)) / 2.0
+        return np.where(n < self.MIN_SEGMENT, 0.0, out)
 
 
 def default_penalty(signal: np.ndarray) -> float:
@@ -111,6 +138,21 @@ class ChangePointResult:
         return len(self.breakpoints)
 
 
+def _check_length(n: int, min_segment: int) -> None:
+    """Reject signals that cannot hold two segments.
+
+    Raises :class:`AnalysisError` (never an ``IndexError`` from deep
+    inside the dynamic program) for empty and tiny inputs.
+    """
+    if min_segment < 1:
+        raise AnalysisError(f"min_segment must be >= 1: {min_segment}")
+    if n < 2 * min_segment:
+        raise AnalysisError(
+            f"signal of length {n} is too short for change-point "
+            f"detection with min_segment={min_segment} "
+            f"(need at least {2 * min_segment} points)")
+
+
 def pelt(signal, penalty: float | None = None, cost_class=L2Cost,
          min_segment: int = 2) -> ChangePointResult:
     """Exact penalized change-point detection (PELT).
@@ -123,38 +165,46 @@ def pelt(signal, penalty: float | None = None, cost_class=L2Cost,
 
     Returns:
         :class:`ChangePointResult` with the optimal breakpoints.
+
+    Raises:
+        AnalysisError: if the signal is shorter than ``2*min_segment``.
     """
     x = np.asarray(signal, dtype=float)
     n = len(x)
-    if n < 2 * min_segment:
-        return ChangePointResult((), n, penalty or float("inf"))
+    _check_length(n, min_segment)
     if penalty is None:
         penalty = default_penalty(x)
     cost = cost_class(x)
+    cost_batch = getattr(cost, "cost_batch", None)
 
     # f[t] = optimal cost of x[0:t]; prev[t] = last breakpoint before t.
-    f = [0.0] + [float("inf")] * n
-    prev = [0] * (n + 1)
-    candidates = [0]
+    # The per-candidate scan is vectorized over the (pruned) candidate
+    # set via the cost model's ``cost_batch``; candidate order is
+    # preserved and ties resolve to the first candidate, exactly like
+    # the scalar loop, so breakpoints are unchanged.
+    f = np.empty(n + 1)
+    f[0] = 0.0
+    f[1:] = np.inf
+    prev = np.zeros(n + 1, dtype=np.int64)
+    candidates = np.array([0], dtype=np.int64)
     for t in range(min_segment, n + 1):
-        best, best_s = float("inf"), 0
-        for s in candidates:
-            if t - s < min_segment:
-                continue
-            value = f[s] + cost.cost(s, t) + penalty
-            if value < best:
-                best, best_s = value, s
-        f[t] = best
-        prev[t] = best_s
+        if cost_batch is not None:
+            seg_costs = cost_batch(candidates, t)
+        else:
+            seg_costs = np.array([cost.cost(int(s), t)
+                                  for s in candidates])
+        totals = f[candidates] + seg_costs + penalty
+        best_i = int(np.argmin(totals))
+        f[t] = totals[best_i]
+        prev[t] = candidates[best_i]
         # Prune candidates that can never win again.
-        candidates = [s for s in candidates
-                      if f[s] + cost.cost(s, t) <= f[t]]
-        candidates.append(t - min_segment + 1)
+        keep = f[candidates] + seg_costs <= f[t]
+        candidates = np.append(candidates[keep], t - min_segment + 1)
 
     breakpoints = []
     t = n
     while t > 0:
-        s = prev[t]
+        s = int(prev[t])
         if s > 0:
             breakpoints.append(s)
         t = s
@@ -168,23 +218,34 @@ def binary_segmentation(signal, penalty: float | None = None,
 
     Recursively split at the point with the largest cost reduction
     until no split beats the penalty (or ``max_changes`` is reached).
+
+    Raises:
+        AnalysisError: if the signal is shorter than ``2*min_segment``.
     """
     x = np.asarray(signal, dtype=float)
     n = len(x)
-    if n < 2 * min_segment:
-        return ChangePointResult((), n, penalty or float("inf"))
+    _check_length(n, min_segment)
     if penalty is None:
         penalty = default_penalty(x)
     cost = cost_class(x)
+    cost_batch = getattr(cost, "cost_batch", None)
 
     def best_split(a: int, b: int) -> tuple[float, int]:
+        # Vectorized scan over every admissible split point; ties
+        # resolve to the first (lowest) index, like the scalar loop.
+        splits = np.arange(a + min_segment, b - min_segment + 1)
+        if len(splits) == 0:
+            return 0.0, -1
         base = cost.cost(a, b)
-        best_gain, best_i = 0.0, -1
-        for i in range(a + min_segment, b - min_segment + 1):
-            gain = base - cost.cost(a, i) - cost.cost(i, b)
-            if gain > best_gain:
-                best_gain, best_i = gain, i
-        return best_gain, best_i
+        if cost_batch is not None:
+            gains = base - cost_batch(a, splits) - cost_batch(splits, b)
+        else:
+            gains = np.array([base - cost.cost(a, int(i))
+                              - cost.cost(int(i), b) for i in splits])
+        best = int(np.argmax(gains))
+        if gains[best] <= 0.0:
+            return 0.0, -1
+        return float(gains[best]), int(splits[best])
 
     breakpoints: list[int] = []
     queue = [(0, n)]
@@ -212,8 +273,14 @@ def throughput_level_shift(signal, penalty: float | None = None,
     Runs PELT, then keeps only breakpoints where the mean level changes
     by at least ``min_relative_shift`` of the larger side -- filtering
     the small wiggles that would otherwise count as "contention".
+
+    A flow too short to hold two segments trivially has no level shift,
+    so (unlike the raw detectors, which raise) this returns an empty
+    result for short signals.
     """
     x = np.asarray(signal, dtype=float)
+    if len(x) < 2 * min_segment:
+        return ChangePointResult((), len(x), penalty or float("inf"))
     raw = pelt(x, penalty=penalty, min_segment=min_segment)
     kept = []
     edges = [0, *raw.breakpoints, raw.n]

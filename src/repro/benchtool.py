@@ -1,0 +1,170 @@
+"""Built-in quick performance smoke: ``repro bench``.
+
+A self-contained, dependency-free (no pytest-benchmark) perf check
+covering the paths this repo cares about: raw engine dispatch, the
+vectorized analysis kernels, and the serial-vs-parallel speedup of the
+two paper-scale fan-outs (the E7 campaign and the Figure 2 pipeline).
+Each parallel row also verifies the determinism contract -- parallel
+results must be bit-for-bit identical to serial -- so the perf smoke
+doubles as a correctness gate.
+
+The full-scale serial/parallel trajectory across PRs is tracked by
+``benchmarks/bench_parallel.py``; this module is the seconds-not-
+minutes version wired into ``repro bench``, ``make bench-quick``, and
+CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .runtime import resolve_workers
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One benchmark outcome.
+
+    Attributes:
+        name: benchmark id.
+        wall_s: wall-clock time of the measured section.
+        metric: headline rate/speedup value.
+        unit: unit of ``metric``.
+        ok: any self-check attached to the benchmark passed.
+    """
+
+    name: str
+    wall_s: float
+    metric: float
+    unit: str
+    ok: bool
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def bench_engine(sim_seconds: float = 0.5) -> BenchRow:
+    """Raw event scheduling/dispatch rate."""
+    from .sim import Simulator
+
+    def run():
+        sim = Simulator()
+
+        def chain():
+            if sim.now < sim_seconds:
+                sim.schedule(1e-5, chain)
+
+        for _ in range(10):
+            sim.schedule(0.0, chain)
+        sim.run()
+        return sim.events_processed
+
+    wall, events = _timed(run)
+    return BenchRow("engine_events", wall, events / wall, "events/s",
+                    ok=events > 0)
+
+
+def bench_pelt(n_points: int = 2_000) -> BenchRow:
+    """PELT over a noisy 4-level step signal (the P3 microbench)."""
+    from .analysis import pelt
+
+    rng = np.random.default_rng(1)
+    quarter = n_points // 4
+    signal = np.concatenate([rng.normal(i * 10.0, 1.0, quarter)
+                             for i in range(4)])
+    wall, result = _timed(lambda: pelt(signal))
+    return BenchRow("pelt_2k", wall, len(signal) / wall, "points/s",
+                    ok=result.num_changes >= 3)
+
+
+def bench_elasticity(trace_seconds: float = 60.0) -> BenchRow:
+    """Offline sliding-window elasticity over a long trace."""
+    from .core.elasticity import elasticity_series
+
+    t = np.arange(0, trace_seconds, 0.01)
+    z = 1e6 + 5e5 * np.sin(2 * np.pi * 5.0 * t)
+    wall, readings = _timed(lambda: elasticity_series(t, z))
+    return BenchRow("elasticity_series", wall, len(readings) / wall,
+                    "windows/s", ok=len(readings) > 0)
+
+
+def bench_pipeline(n_flows: int = 1_500,
+                   workers: int | None = None) -> list[BenchRow]:
+    """Figure 2 pipeline: serial vs parallel wall clock + identity."""
+    from .ndt.pipeline import run_pipeline
+    from .ndt.synth import SyntheticNdtGenerator
+
+    dataset = SyntheticNdtGenerator(seed=2023).generate(n_flows)
+    wall_serial, serial = _timed(
+        lambda: run_pipeline(dataset, workers=1))
+    n_workers = resolve_workers(workers)
+    wall_par, parallel = _timed(
+        lambda: run_pipeline(dataset, workers=n_workers))
+    identical = serial.flows == parallel.flows \
+        and serial.counts == parallel.counts
+    return [
+        BenchRow("fig2_pipeline_serial", wall_serial,
+                 n_flows / wall_serial, "flows/s", ok=True),
+        BenchRow(f"fig2_pipeline_x{n_workers}", wall_par,
+                 wall_serial / wall_par, "speedup", ok=identical),
+    ]
+
+
+def bench_campaign(n_paths: int = 6, duration: float = 5.0,
+                   workers: int | None = None) -> list[BenchRow]:
+    """E7 campaign: serial vs parallel wall clock + identity."""
+    from .core.campaign import Campaign
+
+    wall_serial, serial = _timed(
+        lambda: Campaign(n_paths=n_paths, seed=1,
+                         duration=duration).run(workers=1))
+    n_workers = resolve_workers(workers)
+    wall_par, parallel = _timed(
+        lambda: Campaign(n_paths=n_paths, seed=1,
+                         duration=duration).run(workers=n_workers))
+    identical = serial.results == parallel.results
+    return [
+        BenchRow("campaign_serial", wall_serial, n_paths / wall_serial,
+                 "paths/s", ok=True),
+        BenchRow(f"campaign_x{n_workers}", wall_par,
+                 wall_serial / wall_par, "speedup", ok=identical),
+    ]
+
+
+def run_quick_bench(workers: int | None = None,
+                    full: bool = False) -> list[BenchRow]:
+    """Run the whole smoke suite; ``full`` uses paper-scale sizes."""
+    rows = [
+        bench_engine(),
+        bench_pelt(),
+        bench_elasticity(),
+    ]
+    if full:
+        rows += bench_pipeline(n_flows=9_984, workers=workers)
+        rows += bench_campaign(n_paths=48, duration=30.0,
+                               workers=workers)
+    else:
+        rows += bench_pipeline(workers=workers)
+        rows += bench_campaign(workers=workers)
+    return rows
+
+
+def render(rows: list[BenchRow]) -> str:
+    """Fixed-width table of benchmark rows."""
+    lines = [f"workers default: {resolve_workers(None)} "
+             f"(cpu_count={os.cpu_count()}, "
+             f"REPRO_WORKERS={os.environ.get('REPRO_WORKERS', 'unset')})",
+             f"{'benchmark':24s} {'wall [s]':>10s} "
+             f"{'metric':>14s} {'unit':12s} ok"]
+    for row in rows:
+        lines.append(f"{row.name:24s} {row.wall_s:10.3f} "
+                     f"{row.metric:14.1f} {row.unit:12s} "
+                     f"{'yes' if row.ok else 'NO'}")
+    return "\n".join(lines)

@@ -8,6 +8,12 @@ Subcommands:
 * ``repro quicklook --cross reno`` -- probe one emulated path.
 * ``repro synth-ndt --flows 1000 --out ndt.jsonl`` -- write a synthetic
   NDT dataset.
+* ``repro bench`` -- quick built-in performance smoke (engine, PELT,
+  pipeline, campaign serial vs parallel).
+
+Parallelism: experiments with independent inner work (the campaign,
+the Figure 2 pipeline) accept ``--workers N``; without the flag the
+``REPRO_WORKERS`` environment variable, then the CPU count, decides.
 """
 
 from __future__ import annotations
@@ -65,11 +71,18 @@ def cmd_run(args) -> int:
     import inspect
     run_fn = EXPERIMENTS[args.experiment]
     params = _smoke_overrides(args.experiment) if args.smoke else {}
+    accepted = inspect.signature(run_fn).parameters
     if args.seed is not None:
-        if "seed" in inspect.signature(run_fn).parameters:
+        if "seed" in accepted:
             params["seed"] = args.seed
         else:
             print(f"note: {args.experiment} takes no seed; ignoring",
+                  file=sys.stderr)
+    if args.workers is not None:
+        if "workers" in accepted:
+            params["workers"] = args.workers
+        else:
+            print(f"note: {args.experiment} takes no workers; ignoring",
                   file=sys.stderr)
     result = run_fn(**params)
     print(result.text)
@@ -90,6 +103,19 @@ def cmd_quicklook(args) -> int:
     print(f"mean elasticity:   {result.mean_elasticity:.2f}")
     print(f"contending:        {result.verdict} ({result.category})")
     print(f"probe throughput:  {result.probe_throughput_mbps:.1f} Mbit/s")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """``repro bench``: built-in quick performance smoke."""
+    from .benchtool import render, run_quick_bench
+    rows = run_quick_bench(workers=args.workers, full=args.full)
+    print(render(rows))
+    failed = [r.name for r in rows if not r.ok]
+    if failed:
+        print(f"self-checks FAILED: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -121,7 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--smoke", action="store_true",
                        help="reduced parameters, seconds not minutes")
     p_run.add_argument("--seed", type=int)
+    p_run.add_argument("--workers", type=int,
+                       help="worker processes for parallel experiments "
+                            "(default: $REPRO_WORKERS, then CPU count)")
     p_run.set_defaults(fn=cmd_run)
+
+    p_bench = sub.add_parser(
+        "bench", help="quick built-in performance smoke")
+    p_bench.add_argument("--workers", type=int,
+                         help="worker processes for the parallel rows")
+    p_bench.add_argument("--full", action="store_true",
+                         help="paper-scale sizes (minutes, not seconds)")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_quick = sub.add_parser("quicklook",
                              help="probe one emulated path")

@@ -12,11 +12,13 @@ attached.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ConfigError
+from ..runtime import parallel_map
 from ..qdisc.fifo import DropTailQueue
 from ..qdisc.fq import DrrFairQueue
 from ..sim.engine import Simulator
@@ -231,12 +233,23 @@ class Campaign:
         self.detector = detector if detector is not None \
             else ContentionDetector()
 
-    def run(self, progress=None) -> CampaignResult:
-        """Run every path; ``progress`` is an optional ``fn(i, n)``."""
-        results = []
-        for i, spec in enumerate(self.specs):
-            if progress is not None:
-                progress(i, len(self.specs))
-            results.append(run_path(spec, duration=self.duration,
-                                    detector=self.detector))
+    def run(self, progress=None, workers: int | None = None,
+            chunk_size: int | None = None) -> CampaignResult:
+        """Run every path, optionally across worker processes.
+
+        Each path simulation is independent and carries its own seed,
+        so the result is bit-for-bit identical for any ``workers``
+        value; per-path results stay in ``self.specs`` order.
+
+        Args:
+            progress: optional ``fn(done, total)`` completion callback.
+            workers: worker processes; ``None`` defers to the
+                ``REPRO_WORKERS`` environment variable, then the CPU
+                count.  ``workers=1`` forces the serial path.
+            chunk_size: paths per dispatched task (default: automatic).
+        """
+        job = functools.partial(run_path, duration=self.duration,
+                                detector=self.detector)
+        results = parallel_map(job, self.specs, workers=workers,
+                               chunk_size=chunk_size, progress=progress)
         return CampaignResult(results=results)

@@ -28,12 +28,27 @@ paths with unknown capacity.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import AnalysisError, ConfigError
+
+
+@functools.lru_cache(maxsize=64)
+def _hann_window(n: int) -> np.ndarray:
+    """Cached Hann window (recomputing cosines per update is the
+    dominant non-FFT cost of the streaming estimator).  Treat as
+    read-only."""
+    return np.hanning(n)
+
+
+@functools.lru_cache(maxsize=64)
+def _rfft_freqs(n: int, sample_interval: float) -> np.ndarray:
+    """Cached rFFT frequency grid.  Treat as read-only."""
+    return np.fft.rfftfreq(n, d=sample_interval)
 
 
 def cross_traffic_estimate(mu: float, send_rate: float,
@@ -102,11 +117,18 @@ class ElasticityReading:
     mean_cross_rate: float
 
 
-def _spectrum_elasticity(z: np.ndarray, sample_interval: float,
-                         pulse_freq: float, band: tuple[float, float],
-                         significance_floor: float = 0.0
-                         ) -> tuple[float, float, float]:
-    """Return (elasticity, peak, background) for one window of ẑ.
+def _spectrum_elasticity_batch(windows: np.ndarray, sample_interval: float,
+                               pulse_freq: float,
+                               band: tuple[float, float],
+                               significance_floor: float = 0.0
+                               ) -> tuple[np.ndarray, np.ndarray,
+                                          np.ndarray]:
+    """Vectorized elasticity over a batch of ẑ windows.
+
+    ``windows`` has shape ``(m, n)`` -- one FFT window per row; the
+    whole batch is transformed with a single ``rfft`` call, which is
+    what makes offline analysis of long traces cheap.  Returns
+    ``(elasticity, peak, background)`` arrays of length ``m``.
 
     ``significance_floor`` is a rate amplitude (bytes/second): a cross-
     traffic oscillation smaller than this is insignificant, so it is
@@ -114,34 +136,45 @@ def _spectrum_elasticity(z: np.ndarray, sample_interval: float,
     all-but-empty path (ẑ ~ 0 everywhere) can produce arbitrarily large
     ratios out of numerical residue.
     """
-    n = len(z)
-    detrended = z - z.mean()
-    windowed = detrended * np.hanning(n)
-    spectrum = np.abs(np.fft.rfft(windowed))
-    freqs = np.fft.rfftfreq(n, d=sample_interval)
+    n = windows.shape[1]
+    detrended = windows - windows.mean(axis=1, keepdims=True)
+    windowed = detrended * _hann_window(n)
+    spectrum = np.abs(np.fft.rfft(windowed, axis=1))
+    freqs = _rfft_freqs(n, sample_interval)
 
     # Peak: the pulse-frequency bin and its immediate neighbours (the
     # Hann window spreads a tone over ~2 bins).
     pulse_idx = int(np.argmin(np.abs(freqs - pulse_freq)))
     lo = max(0, pulse_idx - 1)
-    hi = min(len(spectrum), pulse_idx + 2)
-    peak = float(spectrum[lo:hi].max())
+    hi = min(spectrum.shape[1], pulse_idx + 2)
+    peak = spectrum[:, lo:hi].max(axis=1)
 
     # Background: median amplitude in the band, excluding the pulse
     # bins (and their spread).
     in_band = (freqs >= band[0]) & (freqs <= band[1])
     exclude = np.zeros_like(in_band)
     exclude[max(0, pulse_idx - 2):pulse_idx + 3] = True
-    comparison = spectrum[in_band & ~exclude]
-    if len(comparison) == 0:
+    comparison = spectrum[:, in_band & ~exclude]
+    if comparison.shape[1] == 0:
         raise AnalysisError(
             "comparison band is empty; widen band or window")
-    background = float(np.median(comparison))
+    background = np.median(comparison, axis=1)
     # A Hann-windowed sine of amplitude `a` over n samples produces an
     # rfft peak of ~ a*n/4; convert the rate floor to spectrum units.
     floor = significance_floor * n / 4.0
-    denom = max(background + floor, 1e-12)
+    denom = np.maximum(background + floor, 1e-12)
     return peak / denom, peak, background
+
+
+def _spectrum_elasticity(z: np.ndarray, sample_interval: float,
+                         pulse_freq: float, band: tuple[float, float],
+                         significance_floor: float = 0.0
+                         ) -> tuple[float, float, float]:
+    """Return (elasticity, peak, background) for one window of ẑ."""
+    elasticity, peak, background = _spectrum_elasticity_batch(
+        np.asarray(z)[None, :], sample_interval, pulse_freq, band,
+        significance_floor=significance_floor)
+    return float(elasticity[0]), float(peak[0]), float(background[0])
 
 
 class ElasticityEstimator:
@@ -182,24 +215,35 @@ class ElasticityEstimator:
         #: rate scale (bytes/second) for the significance floor; the
         #: owner (e.g. NimbusCca) keeps this at its capacity estimate.
         self.scale = 0.0
-        self._samples: list[float] = []
-        self._times: list[float] = []
+        # Fixed-size ring buffer: appends are O(1) array stores instead
+        # of Python-list slicing + list->array conversion per sample.
+        self._buffer = np.empty(self.window_samples)
+        self._pos = 0
+        self._count = 0
         self._last_update = float("-inf")
         self.readings: list[ElasticityReading] = []
 
+    @property
+    def window_values(self) -> np.ndarray:
+        """The buffered ẑ samples, oldest first (a copy)."""
+        if self._count < self.window_samples:
+            return self._buffer[:self._count].copy()
+        if self._pos == 0:
+            return self._buffer.copy()
+        return np.concatenate((self._buffer[self._pos:],
+                               self._buffer[:self._pos]))
+
     def add_sample(self, now: float, z: float) -> ElasticityReading | None:
         """Add one ẑ sample; returns a new reading when one is emitted."""
-        self._samples.append(float(z))
-        self._times.append(now)
-        max_keep = self.window_samples
-        if len(self._samples) > max_keep:
-            del self._samples[:-max_keep]
-            del self._times[:-max_keep]
-        if (len(self._samples) < self.window_samples
+        self._buffer[self._pos] = z
+        self._pos = (self._pos + 1) % self.window_samples
+        if self._count < self.window_samples:
+            self._count += 1
+        if (self._count < self.window_samples
                 or now - self._last_update < self.update_interval):
             return None
         self._last_update = now
-        z_arr = np.asarray(self._samples)
+        z_arr = self.window_values
         elasticity, peak, background = _spectrum_elasticity(
             z_arr, self.sample_interval, self.pulse_freq, self.band,
             significance_floor=self.significance_frac * self.scale)
@@ -232,13 +276,18 @@ def elasticity_series(times, z_values, pulse_freq: float = 5.0,
 
     win = int(round(window / dt))
     hop = max(1, int(round(step / dt)))
-    out: list[ElasticityReading] = []
-    for end in range(win, len(z) + 1, hop):
-        seg = z[end - win:end]
-        elasticity, peak, background = _spectrum_elasticity(
-            seg, dt, pulse_freq, band)
-        out.append(ElasticityReading(
-            time=float(t[end - 1]), elasticity=elasticity,
-            peak_amplitude=peak, background_amplitude=background,
-            mean_cross_rate=float(seg.mean())))
-    return out
+    ends = np.arange(win, len(z) + 1, hop)
+    if len(ends) == 0:
+        return []
+    # One strided view + one batched FFT over every window at once,
+    # instead of a Python loop transforming windows one by one.
+    windows = np.lib.stride_tricks.sliding_window_view(z, win)[ends - win]
+    elasticity, peak, background = _spectrum_elasticity_batch(
+        windows, dt, pulse_freq, band)
+    means = windows.mean(axis=1)
+    return [ElasticityReading(
+        time=float(t[end - 1]), elasticity=float(e),
+        peak_amplitude=float(p), background_amplitude=float(b),
+        mean_cross_rate=float(m))
+        for end, e, p, b, m in zip(ends, elasticity, peak, background,
+                                   means)]

@@ -33,13 +33,18 @@ def _roc_rows(campaign: CampaignResult,
 
 def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
         fq_fraction: float = 0.3,
-        roc_thresholds: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0, 6.0, 9.0)
-        ) -> ExperimentResult:
-    """Run the campaign and evaluate the hypothesis."""
+        roc_thresholds: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0, 6.0, 9.0),
+        workers: int | None = None) -> ExperimentResult:
+    """Run the campaign and evaluate the hypothesis.
+
+    ``workers`` fans the per-path probe simulations out over processes
+    (default: ``REPRO_WORKERS`` env var, then CPU count); results are
+    identical for any value.
+    """
     with Stopwatch() as watch:
         campaign = Campaign(n_paths=n_paths, seed=seed,
                             duration=duration,
-                            fq_fraction=fq_fraction).run()
+                            fq_fraction=fq_fraction).run(workers=workers)
         evaluation = evaluate_hypothesis(campaign)
         roc = _roc_rows(campaign, roc_thresholds)
         groups = campaign.by_cross_traffic()
@@ -109,6 +114,6 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
         tables={"paths": path_rows, "roc": roc,
                 "by_cross_traffic": group_rows},
         params={"n_paths": n_paths, "duration": duration, "seed": seed,
-                "fq_fraction": fq_fraction},
+                "fq_fraction": fq_fraction, "workers": workers},
         elapsed_s=watch.elapsed,
     )

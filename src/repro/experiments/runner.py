@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 from ..core.report import write_csv, write_json
+from ..runtime import parallel_map
 
 
 @dataclass
@@ -69,11 +70,27 @@ class Stopwatch:
         return False
 
 
-def sweep(values: Sequence, run_fn, label: str = "value") -> list[dict]:
-    """Run ``run_fn(v)`` for each value, collecting metric rows."""
+def sweep(values: Sequence, run_fn, label: str = "value",
+          workers: int | None = None, progress=None) -> list[dict]:
+    """Run ``run_fn(v)`` for each value, collecting metric rows.
+
+    Sweep points are independent, so they are fanned out over worker
+    processes when ``run_fn`` is picklable (a module-level function or
+    ``functools.partial`` of one); closures fall back to the serial
+    loop.  Rows come back in ``values`` order either way.
+
+    Args:
+        values: the sweep points.
+        run_fn: ``fn(value) -> ExperimentResult``.
+        label: column name for the sweep value.
+        workers: worker processes; ``None`` defers to ``REPRO_WORKERS``
+            then the CPU count; ``1`` forces serial.
+        progress: optional ``fn(done, total)`` completion callback.
+    """
+    results = parallel_map(run_fn, values, workers=workers,
+                           chunk_size=1, progress=progress)
     rows = []
-    for v in values:
-        result = run_fn(v)
+    for v, result in zip(values, results):
         row = {label: v}
         row.update(result.metrics)
         rows.append(row)

@@ -10,9 +10,11 @@ conclusively determine the presence (or absence) of CCA contention".
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from ..analysis.changepoint import throughput_level_shift
+from ..runtime import parallel_map
 from ..analysis.stats import Cdf
 from .filters import FlowCategory, categorize
 from .schema import NdtDataset, NdtRecord
@@ -127,9 +129,29 @@ def analyse_flow(record: NdtRecord,
 
 
 def run_pipeline(dataset: NdtDataset,
-                 min_relative_shift: float = 0.25) -> Fig2Result:
-    """Run the full §3.1 pipeline over a dataset."""
-    flows = [analyse_flow(r, min_relative_shift) for r in dataset.records]
+                 min_relative_shift: float = 0.25,
+                 workers: int | None = None,
+                 chunk_size: int | None = None,
+                 progress=None) -> Fig2Result:
+    """Run the full §3.1 pipeline over a dataset.
+
+    Per-flow analysis (categorize + change-point detection) is
+    independent across flows, so it is fanned out over worker
+    processes; flow order and every result are bit-for-bit identical
+    to the serial run for any ``workers`` value.
+
+    Args:
+        dataset: the flows to analyse.
+        min_relative_shift: level-shift significance threshold.
+        workers: worker processes; ``None`` defers to ``REPRO_WORKERS``
+            then the CPU count; ``1`` forces serial.
+        chunk_size: flows per dispatched task (default: automatic).
+        progress: optional ``fn(done, total)`` completion callback.
+    """
+    job = functools.partial(analyse_flow,
+                            min_relative_shift=min_relative_shift)
+    flows = parallel_map(job, dataset.records, workers=workers,
+                         chunk_size=chunk_size, progress=progress)
     counts: dict[FlowCategory, int] = {}
     for f in flows:
         counts[f.category] = counts.get(f.category, 0) + 1

@@ -1,0 +1,219 @@
+"""Process-pool parallel map with deterministic, ordered results.
+
+Design notes
+------------
+
+* **Ordered reassembly.**  Tasks are dispatched in chunks but results
+  are always returned in submission order, so ``parallel_map(f, xs)``
+  is a drop-in replacement for ``[f(x) for x in xs]``.
+* **Determinism.**  The pool adds no randomness of its own: as long as
+  ``fn`` is a pure function of its item (every item carries its own
+  seed -- see :func:`derive_seed`), serial and parallel runs produce
+  bit-for-bit identical result lists.
+* **Serial fallback.**  ``workers <= 1``, a single-item workload,
+  unpicklable work (closures, lambdas), an unavailable pool (restricted
+  sandboxes without semaphores), or running *inside* a pool worker all
+  fall back to the plain serial loop -- correctness never depends on
+  the pool, so doctests, Windows ``spawn``, and CI stay correct.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import os
+import pickle
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ConfigError
+
+#: Environment variable consulted when no explicit worker count is given.
+DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment marker set inside pool workers so nested ``parallel_map``
+#: calls (a parallel sweep of parallel campaigns) degrade to serial
+#: instead of forking pools from pool workers.
+_IN_WORKER_ENV = "REPRO_IN_POOL_WORKER"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count.
+
+    Precedence: the explicit ``workers`` argument, then the
+    ``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``.
+    The result is always >= 1.
+    """
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get(DEFAULT_WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ConfigError(
+                f"{DEFAULT_WORKERS_ENV} must be an integer: {env!r}")
+    return os.cpu_count() or 1
+
+
+def derive_seed(base_seed: int, index: int, name: str = "task") -> int:
+    """Deterministic 63-bit child seed for task ``index``.
+
+    Uses the same hash-derivation scheme as :mod:`repro.sim.rng` so
+    child streams are independent of each other and stable across
+    worker counts and Python hash randomization.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{name}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63)
+
+
+def _auto_chunk_size(total: int, workers: int) -> int:
+    """Chunk so each worker sees several chunks (load balancing) while
+    amortizing IPC for large, cheap-per-item workloads."""
+    return max(1, total // (workers * 8))
+
+
+def _chunks(items: Sequence, size: int) -> list[Sequence]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _mark_worker() -> None:
+    """Pool initializer: tag the process so nested maps stay serial."""
+    os.environ[_IN_WORKER_ENV] = "1"
+
+
+def _run_chunk(fn: Callable, chunk: Sequence) -> list:
+    """Worker-side body: apply ``fn`` to one chunk of items."""
+    return [fn(item) for item in chunk]
+
+
+def _is_picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _serial_map(fn: Callable, items: Sequence, progress) -> list:
+    results = []
+    total = len(items)
+    for i, item in enumerate(items):
+        results.append(fn(item))
+        if progress is not None:
+            progress(i + 1, total)
+    return results
+
+
+class ParallelExecutor:
+    """Reusable process-pool mapper.
+
+    Args:
+        workers: worker processes; ``None`` defers to
+            :func:`resolve_workers` (``REPRO_WORKERS`` env var, then
+            CPU count).  ``workers <= 1`` never creates a pool.
+        chunk_size: items per dispatched task; ``None`` picks a size
+            that gives each worker several chunks.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    pool; a one-shot convenience wrapper is :func:`parallel_map`.
+
+    >>> with ParallelExecutor(workers=1) as ex:
+    ...     ex.map(abs, [-1, -2, 3])
+    [1, 2, 3]
+    """
+
+    def __init__(self, workers: int | None = None,
+                 chunk_size: int | None = None):
+        self.workers = resolve_workers(workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1: {chunk_size}")
+        self.chunk_size = chunk_size
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle --------------------------------------------------
+
+    @property
+    def serial(self) -> bool:
+        """True when this executor will never use a process pool."""
+        return self.workers <= 1 or os.environ.get(_IN_WORKER_ENV) == "1"
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_mark_worker)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- mapping ---------------------------------------------------------
+
+    def map(self, fn: Callable, items: Iterable, progress=None) -> list:
+        """Apply ``fn`` to every item, returning results in order.
+
+        ``progress``, if given, is called as ``progress(done, total)``
+        with the cumulative number of completed items -- after every
+        item in serial mode, after every chunk in parallel mode.
+
+        Exceptions raised by ``fn`` propagate to the caller in both
+        modes.
+        """
+        items = list(items)
+        total = len(items)
+        if total == 0:
+            return []
+        if (self.serial or total == 1
+                or not _is_picklable(fn) or not _is_picklable(items[0])):
+            return _serial_map(fn, items, progress)
+        size = self.chunk_size or _auto_chunk_size(total, self.workers)
+        chunks = _chunks(items, size)
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_chunk, fn, chunk)
+                       for chunk in chunks]
+        except (OSError, ValueError, RuntimeError):
+            # Pool could not be created (restricted environment) --
+            # correctness over speed.
+            self.close()
+            return _serial_map(fn, items, progress)
+        try:
+            if progress is not None:
+                done_items = 0
+                for future in concurrent.futures.as_completed(futures):
+                    future.result()  # surface worker errors promptly
+                    done_items += len(chunks[futures.index(future)])
+                    progress(done_items, total)
+            results: list = []
+            for future in futures:
+                results.extend(future.result())
+            return results
+        except concurrent.futures.process.BrokenProcessPool:
+            # A worker died (OOM-killed, sandbox limits): recompute
+            # serially rather than failing the whole run.
+            self.close()
+            return _serial_map(fn, items, progress)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+
+
+def parallel_map(fn: Callable, items: Iterable, workers: int | None = None,
+                 chunk_size: int | None = None, progress=None) -> list:
+    """One-shot :meth:`ParallelExecutor.map`.
+
+    >>> parallel_map(abs, [-3, 1, -2], workers=1)
+    [3, 1, 2]
+    """
+    with ParallelExecutor(workers=workers, chunk_size=chunk_size) as ex:
+        return ex.map(fn, items, progress=progress)

@@ -119,5 +119,20 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of heap entries still queued.
+
+        This counts *cancelled* events too: cancellation only marks the
+        entry (removal from the middle of a heap is O(n)), and the mark
+        is skipped lazily at dispatch time.  Use :attr:`pending_active`
+        for the number of events that will actually run.
+        """
         return len(self._heap)
+
+    @property
+    def pending_active(self) -> int:
+        """Number of queued events that have not been cancelled.
+
+        O(pending): walks the heap, so prefer :attr:`pending` in hot
+        paths where the distinction does not matter.
+        """
+        return sum(1 for _, _, event in self._heap if not event.cancelled)

@@ -143,6 +143,7 @@ class TestCampaignClass:
     def test_runs_end_to_end_small(self):
         campaign = Campaign(n_paths=3, seed=2, duration=12.0)
         seen = []
-        result = campaign.run(progress=lambda i, n: seen.append((i, n)))
+        result = campaign.run(
+            progress=lambda done, n: seen.append((done, n)))
         assert len(result.results) == 3
-        assert seen == [(0, 3), (1, 3), (2, 3)]
+        assert seen == [(1, 3), (2, 3), (3, 3)]

@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis import (binary_segmentation, pelt,
                             throughput_level_shift)
 from repro.analysis.changepoint import L2Cost, NormalMeanVarCost
+from repro.errors import AnalysisError
 
 
 def noisy_steps(levels, seg_len=50, noise=0.5, seed=0):
@@ -60,9 +61,25 @@ class TestDetectors:
         assert any(abs(bp - 80) <= 5 for bp in found)
         assert any(abs(bp - 160) <= 5 for bp in found)
 
-    def test_short_signal_returns_empty(self, detect):
-        result = detect([1.0, 2.0])
+    def test_short_signal_raises(self, detect):
+        with pytest.raises(AnalysisError):
+            detect([1.0, 2.0])
+
+    def test_empty_signal_raises(self, detect):
+        with pytest.raises(AnalysisError):
+            detect([])
+
+    def test_tiny_signal_raises_with_large_min_segment(self, detect):
+        with pytest.raises(AnalysisError):
+            detect([1.0] * 7, min_segment=4)
+
+    def test_exactly_two_segments_accepted(self, detect):
+        result = detect([1.0] * 8, min_segment=4)
         assert result.num_changes == 0
+
+    def test_bad_min_segment_raises(self, detect):
+        with pytest.raises(AnalysisError):
+            detect([1.0] * 8, min_segment=0)
 
     def test_segments_partition_signal(self, detect):
         signal = noisy_steps([1.0, 9.0], seg_len=60, seed=5)
@@ -94,6 +111,61 @@ class TestPeltSpecifics:
         result = pelt(signal, penalty=10.0, cost_class=NormalMeanVarCost,
                       min_segment=5)
         assert any(abs(bp - 150) <= 10 for bp in result.breakpoints)
+
+
+class TestCostBatch:
+    """The vectorized cost paths must match the scalar ones exactly --
+    PELT's pruning decisions (hence its breakpoints) depend on it."""
+
+    @pytest.mark.parametrize("cost_class", [L2Cost, NormalMeanVarCost])
+    def test_batch_matches_scalar(self, cost_class):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=40)
+        cost = cost_class(x)
+        ends = 37
+        starts = np.arange(0, ends - 1)
+        batch = cost.cost_batch(starts, ends)
+        for s, value in zip(starts, batch):
+            assert value == cost.cost(int(s), ends)
+
+    def test_batch_varying_ends(self):
+        rng = np.random.default_rng(12)
+        cost = L2Cost(rng.normal(size=30))
+        ends = np.arange(6, 30)
+        batch = cost.cost_batch(3, ends)
+        for e, value in zip(ends, batch):
+            assert value == cost.cost(3, int(e))
+
+
+def _exact_partition(x, penalty, min_segment=2):
+    """Brute-force optimal segmentation by O(n^2) dynamic programming
+    (no pruning) -- the reference PELT must reproduce exactly."""
+    cost = L2Cost(x)
+    n = len(x)
+    f = [0.0] + [float("inf")] * n
+    prev = [0] * (n + 1)
+    for t in range(min_segment, n + 1):
+        for s in [0] + list(range(min_segment, t - min_segment + 1)):
+            value = f[s] + cost.cost(s, t) + penalty
+            if value < f[t]:
+                f[t], prev[t] = value, s
+    bps, t = [], n
+    while t > 0:
+        if prev[t] > 0:
+            bps.append(prev[t])
+        t = prev[t]
+    return tuple(sorted(bps))
+
+
+class TestPeltExactness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_unpruned_dp(self, seed):
+        rng = np.random.default_rng(seed)
+        levels = rng.choice([0.0, 5.0, 12.0], size=3)
+        x = np.concatenate([rng.normal(lvl, 1.0, 25) for lvl in levels])
+        penalty = 8.0
+        assert pelt(x, penalty=penalty).breakpoints \
+            == _exact_partition(x, penalty)
 
 
 class TestLevelShiftFilter:

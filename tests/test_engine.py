@@ -46,6 +46,26 @@ def test_run_until_stops_clock_exactly():
     assert sim.pending == 1
 
 
+def test_pending_counts_cancelled_but_pending_active_skips_them():
+    # Regression for the pending-vs-cancelled mismatch: `pending` is a
+    # raw heap size (cancelled entries are only removed lazily), while
+    # `pending_active` reports what will actually run.
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    assert (sim.pending, sim.pending_active) == (2, 2)
+    drop.cancel()
+    assert sim.pending == 2          # lazy removal: entry still queued
+    assert sim.pending_active == 1   # but it will never run
+    drop.cancel()                    # idempotent
+    assert sim.pending_active == 1
+    keep.cancel()
+    assert sim.pending_active == 0
+    sim.run()
+    assert (sim.pending, sim.pending_active) == (0, 0)
+    assert sim.events_processed == 0
+
+
 def test_run_until_resumes():
     sim = Simulator()
     seen = []

@@ -135,6 +135,32 @@ class TestBweIsolation:
         assert result.metrics["max_enforcement_error"] < 0.15
 
 
+class TestElapsedRecorded:
+    """Satellite audit: every registered experiment must time its run
+    with Stopwatch and record ``elapsed_s`` on the result -- otherwise
+    saved metrics.json artifacts silently report 0.0 s runs."""
+
+    def test_every_run_wires_stopwatch_to_elapsed(self):
+        import inspect
+
+        for name, fn in sorted(EXPERIMENTS.items()):
+            src = inspect.getsource(fn)
+            assert "with Stopwatch() as watch" in src, (
+                f"{name}.run() does not time itself with Stopwatch")
+            assert "elapsed_s=watch.elapsed" in src, (
+                f"{name}.run() never records elapsed_s from Stopwatch")
+
+    def test_elapsed_present_at_runtime_and_in_saved_json(self, tmp_path):
+        import json
+
+        result = fig2.run(n_flows=60, seed=1)
+        assert result.elapsed_s > 0.0
+        result.save(tmp_path)
+        payload = json.loads(
+            (tmp_path / "fig2" / "metrics.json").read_text())
+        assert payload["elapsed_s"] == result.elapsed_s
+
+
 class TestRegistryAndResults:
     def test_registry_lists_all_experiments(self):
         assert set(EXPERIMENTS) == {
