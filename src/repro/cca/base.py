@@ -18,6 +18,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from ..obs.bus import BUS as _OBS
 from ..units import DEFAULT_MSS
 
 
@@ -63,8 +64,28 @@ class CongestionControl(abc.ABC):
     #: human-readable algorithm name (subclasses override)
     name = "base"
 
+    #: flow label attached to trace events; set via :meth:`bind_flow`
+    _obs_flow = ""
+
     def __init__(self, mss: int = DEFAULT_MSS):
         self.mss = mss
+
+    # -- observability -----------------------------------------------------
+
+    def bind_flow(self, flow_id: str) -> None:
+        """Label this CCA's trace events with the owning flow's id.
+
+        Called by the transport endpoint at construction; harmless to
+        skip (events then carry an empty flow field).
+        """
+        self._obs_flow = flow_id
+
+    def _trace(self, now: float, kind: str, value: float = 0.0,
+               meta: dict | None = None) -> None:
+        """Emit a trace event attributed to this CCA, if tracing is on."""
+        if _OBS.enabled:
+            _OBS.emit(now, kind, f"cca:{self.name}", self._obs_flow,
+                      value, meta)
 
     # -- knobs the endpoint reads ----------------------------------------
 

@@ -15,6 +15,7 @@ serves as elastic-but-not-loss-based cross traffic in Figure 3.
 
 from __future__ import annotations
 
+from ..obs.bus import EventKind
 from ..units import DEFAULT_MSS
 from .base import AckSample, CongestionControl
 from .filters import WindowedExtremum
@@ -81,6 +82,7 @@ class BbrCca(CongestionControl):
 
     def on_ack(self, sample: AckSample) -> None:
         now = sample.now
+        state_before = self._state
         self._update_round(sample)
         if (sample.delivery_rate is not None
                 and (not sample.delivery_rate_app_limited
@@ -107,6 +109,9 @@ class BbrCca(CongestionControl):
         if self._state == "PROBE_RTT":
             self._handle_probe_rtt(now, sample)
         self._maybe_enter_probe_rtt(now)
+        if self._state != state_before:
+            self._trace(now, EventKind.MODE, meta={
+                "from": state_before, "to": self._state})
 
     def _update_round(self, sample: AckSample) -> None:
         if sample.delivered_total >= self._round_end_delivered:

@@ -30,6 +30,7 @@ import math
 from ..core.elasticity import (ElasticityEstimator, PulseGenerator,
                                cross_traffic_estimate)
 from ..errors import ConfigError
+from ..obs.bus import EventKind
 from ..units import DEFAULT_MSS
 from .base import AckSample, CongestionControl
 from .cubic import CubicCca
@@ -161,6 +162,8 @@ class NimbusCca(CongestionControl):
         if not mode_switching and fixed_mode == "tcp":
             self.mode = "tcp"
             self._tcp_inner = CubicCca(mss=mss)
+            self._trace(0.0, EventKind.MODE,
+                        meta={"from": "delay", "to": "tcp", "fixed": True})
 
     # -- knobs -------------------------------------------------------------
 
@@ -310,6 +313,13 @@ class NimbusCca(CongestionControl):
         # holding the floor at full scale would mute true detections.
         self.estimator.scale = self.mu * self._amp_scale
         reading = self.estimator.add_sample(bin_end, z)
+        # Bins close lazily, so bin_end can trail the live clock; emit
+        # at the clock (events must be non-decreasing in time) and keep
+        # the bin boundary in meta.
+        meta = {"bin_end": bin_end}
+        if reading is not None:
+            meta["elasticity"] = reading.elasticity
+        self._trace(self._now, EventKind.PULSE, z, meta)
         if reading is not None and self.mode_switching:
             self._maybe_switch_mode(bin_end, reading.elasticity)
 
@@ -354,8 +364,12 @@ class NimbusCca(CongestionControl):
                                        initial_cwnd=start_cwnd)
             self._tcp_inner.ssthresh = start_cwnd
             self.mode_log.append((now, "tcp"))
+            self._trace(self._now, EventKind.MODE, elasticity,
+                        {"from": "delay", "to": "tcp"})
         elif self.mode == "tcp" and elasticity <= self.elasticity_low:
             self.mode = "delay"
             self._mode_changed_at = now
             self._tcp_inner = None
             self.mode_log.append((now, "delay"))
+            self._trace(self._now, EventKind.MODE, elasticity,
+                        {"from": "tcp", "to": "delay"})

@@ -13,6 +13,7 @@ loss signals at most once per RTT (RFC 3168).
 from __future__ import annotations
 
 from ..errors import ConfigError
+from ..obs.bus import EventKind
 from ..units import DEFAULT_MSS
 from .base import AckSample, CongestionControl
 
@@ -75,10 +76,12 @@ class RenoCca(CongestionControl):
 
     def on_loss(self, now: float, lost_bytes: int) -> None:
         self._multiplicative_decrease()
+        self._trace(now, EventKind.CWND, self._cwnd, {"cause": "loss"})
 
     def on_rto(self, now: float) -> None:
         self.ssthresh = max(self._cwnd / 2.0, self.min_cwnd)
         self._cwnd = 1.0
+        self._trace(now, EventKind.CWND, self._cwnd, {"cause": "rto"})
 
 
 class NewRenoCca(RenoCca):

@@ -5,6 +5,10 @@ Subcommands:
 * ``repro list`` -- show available experiments.
 * ``repro run fig3 [--out results/] [--smoke]`` -- run an experiment
   and print its report (optionally saving CSV/JSON artifacts).
+* ``repro trace fig3 --out trace.jsonl`` -- run an experiment with the
+  structured event trace streamed to JSONL.
+* ``repro metrics fig3`` -- run an experiment and print the metrics
+  registry (counters, gauges, histograms).
 * ``repro quicklook --cross reno`` -- probe one emulated path.
 * ``repro synth-ndt --flows 1000 --out ndt.jsonl`` -- write a synthetic
   NDT dataset.
@@ -61,33 +65,95 @@ def cmd_list(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    """``repro run <experiment>``: run and print one experiment."""
+def _resolve_experiment(args):
+    """Map CLI args to ``(run_fn, params)``; None when unknown.
+
+    Shared by ``run``, ``trace``, and ``metrics``: handles smoke
+    overrides and the optional ``--seed`` / ``--workers`` passthrough
+    (silently meaningful only for experiments that accept them).
+    """
     from .experiments import EXPERIMENTS
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; "
               f"try: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
-        return 2
+        return None
     import inspect
     run_fn = EXPERIMENTS[args.experiment]
     params = _smoke_overrides(args.experiment) if args.smoke else {}
     accepted = inspect.signature(run_fn).parameters
-    if args.seed is not None:
+    if getattr(args, "seed", None) is not None:
         if "seed" in accepted:
             params["seed"] = args.seed
         else:
             print(f"note: {args.experiment} takes no seed; ignoring",
                   file=sys.stderr)
-    if args.workers is not None:
+    if getattr(args, "workers", None) is not None:
         if "workers" in accepted:
             params["workers"] = args.workers
         else:
             print(f"note: {args.experiment} takes no workers; ignoring",
                   file=sys.stderr)
+    return run_fn, params
+
+
+def cmd_run(args) -> int:
+    """``repro run <experiment>``: run and print one experiment."""
+    resolved = _resolve_experiment(args)
+    if resolved is None:
+        return 2
+    run_fn, params = resolved
     result = run_fn(**params)
     print(result.text)
     print(f"\n[{result.experiment} finished in {result.elapsed_s:.1f}s]")
     if args.out:
+        from .obs.metrics import REGISTRY
+        if len(REGISTRY):
+            result.attachments.setdefault("metrics_registry",
+                                          REGISTRY.snapshot())
+        written = result.save(args.out)
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace <experiment>``: run with event tracing to JSONL."""
+    resolved = _resolve_experiment(args)
+    if resolved is None:
+        return 2
+    run_fn, params = resolved
+    from .obs.bus import JsonlTraceWriter
+    kinds = args.kinds.split(",") if args.kinds else None
+    with JsonlTraceWriter(args.out, kinds=kinds) as writer:
+        result = run_fn(**params)
+    print(f"{result.experiment}: wrote {writer.count} events "
+          f"to {args.out}")
+    for kind, n in sorted(writer.counts.items()):
+        print(f"  {kind:10s} {n:>10d}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """``repro metrics <experiment>``: run and print the metrics registry."""
+    resolved = _resolve_experiment(args)
+    if resolved is None:
+        return 2
+    run_fn, params = resolved
+    from .obs.metrics import REGISTRY
+    REGISTRY.reset()
+    result = run_fn(**params)
+    snapshot = REGISTRY.snapshot()
+    for name, entry in snapshot.items():
+        if entry["type"] == "histogram":
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            print(f"{name:32s} histogram n={count} mean={mean:.6g}")
+        else:
+            print(f"{name:32s} {entry['type']} {entry['value']:.6g}")
+    if not snapshot:
+        print("(no metrics recorded)")
+    if args.out:
+        result.attachments["metrics_registry"] = snapshot
         written = result.save(args.out)
         for path in written:
             print(f"wrote {path}")
@@ -151,6 +217,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for parallel experiments "
                             "(default: $REPRO_WORKERS, then CPU count)")
     p_run.set_defaults(fn=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run an experiment with event tracing to JSONL")
+    p_trace.add_argument("experiment")
+    p_trace.add_argument("--out", default="trace.jsonl",
+                         help="JSONL output path (default: trace.jsonl)")
+    p_trace.add_argument("--kinds",
+                         help="comma-separated event kinds to keep "
+                              "(default: all)")
+    p_trace.add_argument("--smoke", action="store_true",
+                         help="reduced parameters, seconds not minutes")
+    p_trace.add_argument("--seed", type=int)
+    p_trace.add_argument("--workers", type=int)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run an experiment and print the metrics registry")
+    p_metrics.add_argument("experiment")
+    p_metrics.add_argument("--out",
+                           help="directory for report + registry snapshot")
+    p_metrics.add_argument("--smoke", action="store_true",
+                           help="reduced parameters, seconds not minutes")
+    p_metrics.add_argument("--seed", type=int)
+    p_metrics.add_argument("--workers", type=int)
+    p_metrics.set_defaults(fn=cmd_metrics)
 
     p_bench = sub.add_parser(
         "bench", help="quick built-in performance smoke")

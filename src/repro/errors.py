@@ -16,6 +16,15 @@ class SimulationError(ReproError):
     """The simulator was driven into an invalid state."""
 
 
+class InvariantViolation(SimulationError):
+    """A runtime invariant check (``REPRO_CHECK_INVARIANTS=1``) failed.
+
+    Raised by the :mod:`repro.obs.invariants` checkers in strict mode;
+    indicates a bug in the simulator or its instrumentation, never a
+    user configuration problem.
+    """
+
+
 class ConfigError(ReproError):
     """An experiment, component, or CLI configuration is invalid."""
 

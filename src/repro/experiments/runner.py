@@ -28,6 +28,9 @@ class ExperimentResult:
         metrics: headline numbers, for assertions and EXPERIMENTS.md.
         tables: named row-sets to export as CSV.
         params: the parameters the run used.
+        attachments: named JSON-able payloads saved alongside the
+            report (e.g. the ``metrics_registry`` snapshot from
+            :mod:`repro.obs.metrics`).
     """
 
     experiment: str
@@ -36,6 +39,7 @@ class ExperimentResult:
     tables: dict[str, list[Mapping]] = field(default_factory=dict)
     params: dict = field(default_factory=dict)
     elapsed_s: float = 0.0
+    attachments: dict[str, Mapping] = field(default_factory=dict)
 
     def save(self, out_dir: str | Path) -> list[Path]:
         """Write text, metrics, and CSV tables under ``out_dir``."""
@@ -55,6 +59,10 @@ class ExperimentResult:
             csv_path = out / f"{name}.csv"
             write_csv(csv_path, rows)
             written.append(csv_path)
+        for name, payload in self.attachments.items():
+            json_path = out / f"{name}.json"
+            write_json(json_path, payload)
+            written.append(json_path)
         return written
 
 

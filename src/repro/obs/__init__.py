@@ -1,0 +1,44 @@
+"""Structured observability for the simulator.
+
+Three pieces, all with near-zero cost when idle:
+
+* :mod:`repro.obs.bus` -- a typed event-trace bus; instrumented
+  components (links, qdiscs, CCAs, transports) emit enqueue/dequeue/
+  drop/mark, cwnd/rate, and mode/pulse events through one global
+  :data:`~repro.obs.bus.BUS`, guarded by a single ``enabled`` check.
+* :mod:`repro.obs.metrics` -- a hierarchical registry of counters,
+  gauges, and fixed-bucket histograms with commutative snapshot
+  merging (so parallel workers can report in any order).
+* :mod:`repro.obs.invariants` -- trace-driven checkers (byte
+  conservation, non-negative queues, monotonic clock, cwnd bounds)
+  usable in tests via :func:`~repro.obs.invariants.check_trace` or as
+  strict runtime assertions via ``REPRO_CHECK_INVARIANTS=1``.
+
+Quick tour::
+
+    from repro.obs import capture, check_trace
+    with capture() as trace:
+        ...run a simulation...
+    assert check_trace(trace.events) == []     # all invariants hold
+    print(trace.counts_by_kind())
+"""
+
+from .bus import (BUS, EventKind, JsonlTraceWriter, TraceBus, TraceEvent,
+                  capture)
+from .invariants import (ByteConservationChecker, CwndBoundsChecker,
+                         MonotonicClockChecker, QueueNonNegativeChecker,
+                         Violation, all_checkers, check_trace,
+                         maybe_install_from_env, runtime_checks_requested)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, REGISTRY,
+                      default_buckets, registry)
+
+__all__ = [
+    "BUS", "TraceBus", "TraceEvent", "EventKind", "capture",
+    "JsonlTraceWriter",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "registry", "default_buckets",
+    "Violation", "check_trace", "all_checkers",
+    "MonotonicClockChecker", "QueueNonNegativeChecker",
+    "ByteConservationChecker", "CwndBoundsChecker",
+    "maybe_install_from_env", "runtime_checks_requested",
+]

@@ -53,7 +53,7 @@ class CoDelQueue(Qdisc):
         packet.enqueue_time = now
         self._queue.append(packet)
         self._bytes += packet.size
-        self._record_enqueue()
+        self._record_enqueue(packet, now)
         return True
 
     def _control_law(self, t: float) -> float:
@@ -86,7 +86,7 @@ class CoDelQueue(Qdisc):
                 self._dropping = False
             else:
                 while self._dropping and now >= self._drop_next:
-                    self._record_drop(packet, now)
+                    self._record_drop(packet, now, enqueued=True)
                     self._drop_count += 1
                     if not self._queue:
                         self._dropping = False
@@ -97,7 +97,7 @@ class CoDelQueue(Qdisc):
                     else:
                         self._drop_next = self._control_law(self._drop_next)
         elif drop_now:
-            self._record_drop(packet, now)
+            self._record_drop(packet, now, enqueued=True)
             self._dropping = True
             # Start the next drop sooner if we were recently dropping.
             delta = self._drop_count - self._last_drop_count
@@ -111,6 +111,7 @@ class CoDelQueue(Qdisc):
                 return None
             packet = self._pop()
 
+        self._record_dequeue(packet, now)
         return packet
 
     def __len__(self) -> int:

@@ -53,7 +53,7 @@ class DropTailQueue(Qdisc):
         packet.enqueue_time = now
         self._queue.append(packet)
         self._bytes += packet.size
-        self._record_enqueue()
+        self._record_enqueue(packet, now)
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -61,6 +61,7 @@ class DropTailQueue(Qdisc):
             return None
         packet = self._queue.popleft()
         self._bytes -= packet.size
+        self._record_dequeue(packet, now)
         return packet
 
     def __len__(self) -> int:

@@ -73,7 +73,7 @@ class DrrFairQueue(Qdisc):
         sub.bytes -= victim.size
         self._total_packets -= 1
         self._total_bytes -= victim.size
-        self._record_drop(victim, now)
+        self._record_drop(victim, now, enqueued=True)
         if not sub.packets:
             self._deactivate(longest_key)
 
@@ -100,7 +100,7 @@ class DrrFairQueue(Qdisc):
         sub.bytes += packet.size
         self._total_packets += 1
         self._total_bytes += packet.size
-        self._record_enqueue()
+        self._record_enqueue(packet, now)
         dropped_self = False
         while self._total_packets > self.limit_packets:
             longest_key = max(self._subqueues,
@@ -133,6 +133,7 @@ class DrrFairQueue(Qdisc):
                 sub.deficit = 0.0
                 self._active.popleft()
                 del self._subqueues[key]
+            self._record_dequeue(head, now)
             return head
         return None
 

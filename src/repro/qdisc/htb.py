@@ -100,7 +100,7 @@ class HtbQueue(Qdisc):
         cls.bytes += packet.size
         self._total_packets += 1
         self._total_bytes += packet.size
-        self._record_enqueue()
+        self._record_enqueue(packet, now)
         return True
 
     def _try_serve(self, cls: HtbClass, borrow: bool) -> Optional[Packet]:
@@ -132,6 +132,7 @@ class HtbQueue(Qdisc):
             packet = self._try_serve(self.classes[names[idx]], borrow=False)
             if packet is not None:
                 self._rr_assured = (idx + 1) % n
+                self._record_dequeue(packet, now)
                 return packet
         # Pass 2: classes borrowing up to their ceiling.
         for i in range(n):
@@ -139,6 +140,7 @@ class HtbQueue(Qdisc):
             packet = self._try_serve(self.classes[names[idx]], borrow=True)
             if packet is not None:
                 self._rr_borrow = (idx + 1) % n
+                self._record_dequeue(packet, now)
                 return packet
         return None
 

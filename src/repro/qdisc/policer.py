@@ -56,13 +56,16 @@ class Policer(Qdisc):
         self._tokens -= packet.size
         accepted = self.child.enqueue(packet, now)
         if accepted:
-            self._record_enqueue()
+            self._record_enqueue(packet, now)
         else:
             self._record_drop(packet, now)
         return accepted
 
     def dequeue(self, now: float) -> Optional[Packet]:
-        return self.child.dequeue(now)
+        packet = self.child.dequeue(now)
+        if packet is not None:
+            self._record_dequeue(packet, now)
+        return packet
 
     def __len__(self) -> int:
         return len(self.child)

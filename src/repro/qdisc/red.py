@@ -118,7 +118,7 @@ class RedQueue(Qdisc):
             self._count_since_mark = -1
             if self.ecn and packet.ecn_capable:
                 packet.ecn_marked = True
-                self._record_mark()
+                self._record_mark(packet, now)
             else:
                 self._record_drop(packet, now)
                 return False
@@ -126,7 +126,7 @@ class RedQueue(Qdisc):
         packet.enqueue_time = now
         self._queue.append(packet)
         self._bytes += packet.size
-        self._record_enqueue()
+        self._record_enqueue(packet, now)
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -136,6 +136,7 @@ class RedQueue(Qdisc):
         self._bytes -= packet.size
         if not self._queue:
             self._idle_since = now
+        self._record_dequeue(packet, now)
         return packet
 
     def __len__(self) -> int:

@@ -74,7 +74,7 @@ class TokenBucketFilter(Qdisc):
     def enqueue(self, packet: Packet, now: float) -> bool:
         accepted = self.child.enqueue(packet, now)
         if accepted:
-            self._record_enqueue()
+            self._record_enqueue(packet, now)
         else:
             # The child recorded its own drop; mirror the count here so
             # callers reading this qdisc's stats see the loss.
@@ -96,6 +96,7 @@ class TokenBucketFilter(Qdisc):
         self._tokens -= head.size
         if self.peak_rate is not None:
             self._peak_tokens -= head.size
+        self._record_dequeue(head, now)
         return head
 
     def __len__(self) -> int:

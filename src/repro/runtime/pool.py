@@ -23,9 +23,11 @@ import concurrent.futures
 import hashlib
 import os
 import pickle
+import time
 from typing import Callable, Iterable, Sequence
 
 from ..errors import ConfigError
+from ..obs.metrics import REGISTRY as _METRICS
 
 #: Environment variable consulted when no explicit worker count is given.
 DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
@@ -81,9 +83,28 @@ def _mark_worker() -> None:
     os.environ[_IN_WORKER_ENV] = "1"
 
 
-def _run_chunk(fn: Callable, chunk: Sequence) -> list:
-    """Worker-side body: apply ``fn`` to one chunk of items."""
-    return [fn(item) for item in chunk]
+def _apply_timed(fn: Callable, item):
+    """Run one task, recording wall time into the process registry."""
+    t0 = time.perf_counter()
+    result = fn(item)
+    _METRICS.histogram("pool.task_s").observe(time.perf_counter() - t0)
+    _METRICS.counter("pool.tasks").inc()
+    return result
+
+
+def _run_chunk(fn: Callable, chunk: Sequence) -> tuple[list, dict]:
+    """Worker-side body: apply ``fn`` to one chunk of items.
+
+    Returns the chunk's results plus a snapshot of the metrics the
+    chunk produced in this worker process.  The worker registry is
+    reset per chunk, so the parent can merge every returned snapshot
+    without double counting (the merge is commutative: counters and
+    histogram buckets add, gauges take the max, so reassembly order
+    does not matter).
+    """
+    _METRICS.reset()
+    results = [_apply_timed(fn, item) for item in chunk]
+    return results, _METRICS.snapshot()
 
 
 def _is_picklable(obj) -> bool:
@@ -98,7 +119,7 @@ def _serial_map(fn: Callable, items: Sequence, progress) -> list:
     results = []
     total = len(items)
     for i, item in enumerate(items):
-        results.append(fn(item))
+        results.append(_apply_timed(fn, item))
         if progress is not None:
             progress(i + 1, total)
     return results
@@ -195,7 +216,9 @@ class ParallelExecutor:
                     progress(done_items, total)
             results: list = []
             for future in futures:
-                results.extend(future.result())
+                chunk_results, worker_metrics = future.result()
+                results.extend(chunk_results)
+                _METRICS.merge(worker_metrics)
             return results
         except concurrent.futures.process.BrokenProcessPool:
             # A worker died (OOM-killed, sandbox limits): recompute

@@ -13,6 +13,9 @@ import itertools
 from typing import Any, Callable
 
 from ..errors import SimulationError
+from ..obs import invariants as _invariants
+from ..obs.bus import BUS as _OBS, EventKind
+from ..obs.metrics import REGISTRY as _METRICS
 
 
 class Event:
@@ -52,6 +55,12 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        # Opt-in runtime auditing: REPRO_CHECK_INVARIANTS=1 attaches
+        # strict trace-driven invariant checkers (idempotent, and a
+        # no-op without the env var).
+        _invariants.maybe_install_from_env()
+        if _OBS.enabled:
+            _OBS.emit(0.0, EventKind.SIM_START, "sim")
 
     # -- scheduling ------------------------------------------------------
 
@@ -95,6 +104,10 @@ class Simulator:
         self._running = True
         heap = self._heap
         pop = heapq.heappop
+        processed_before = self._events_processed
+        if _OBS.enabled:
+            _OBS.emit(self.now, EventKind.SIM_RUN, "sim",
+                      meta={"phase": "begin"})
         try:
             while heap:
                 time, _, event = heap[0]
@@ -111,6 +124,13 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            executed = self._events_processed - processed_before
+            _METRICS.counter("sim.events_processed").inc(executed)
+            _METRICS.counter("sim.runs").inc()
+            _METRICS.gauge("sim.clock_s").set(self.now)
+            if _OBS.enabled:
+                _OBS.emit(self.now, EventKind.SIM_RUN, "sim",
+                          value=float(executed), meta={"phase": "end"})
 
     @property
     def events_processed(self) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Protocol
 
 from ..errors import ConfigError
+from ..obs.bus import BUS as _OBS, EventKind
 from ..qdisc.base import Qdisc
 from ..qdisc.fifo import DropTailQueue
 from .engine import Simulator
@@ -117,6 +118,9 @@ class Link:
         flow = packet.flow_id
         self._per_flow_bytes[flow] = (
             self._per_flow_bytes.get(flow, 0) + packet.size)
+        if _OBS.enabled:
+            _OBS.emit(now, EventKind.DELIVER, f"link:{self.name}", flow,
+                      packet.size)
         for tap in self._taps:
             tap(packet, now)
         if self.sink is not None:
@@ -244,6 +248,9 @@ class TraceLink:
         self.delivered_bytes += packet.size
         self._per_flow_bytes[packet.flow_id] = (
             self._per_flow_bytes.get(packet.flow_id, 0) + packet.size)
+        if _OBS.enabled:
+            _OBS.emit(now, EventKind.DELIVER, f"link:{self.name}",
+                      packet.flow_id, packet.size)
         for tap in self._taps:
             tap(packet, now)
         if self.sink is not None:

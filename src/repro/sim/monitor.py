@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import AnalysisError, ConfigError
 from .engine import Simulator
 
 
@@ -51,7 +51,7 @@ class QueueMonitor:
     def occupancy_stats(self) -> dict[str, float]:
         """Mean/p95/max queue occupancy in packets and bytes."""
         if not self.times:
-            raise ConfigError("monitor has no samples; call start()")
+            raise AnalysisError("monitor has no samples; call start()")
         pkts = np.asarray(self.packets, dtype=float)
         byts = np.asarray(self.bytes, dtype=float)
         return {
@@ -66,7 +66,7 @@ class QueueMonitor:
     def standing_delay(self, rate_bps: float) -> float:
         """Median queueing delay implied by occupancy at ``rate_bps``."""
         if not self.times:
-            raise ConfigError("monitor has no samples; call start()")
+            raise AnalysisError("monitor has no samples; call start()")
         return float(np.median(self.bytes)) / rate_bps
 
 
@@ -111,5 +111,5 @@ class UtilizationMonitor:
     @property
     def mean_utilization(self) -> float:
         if not self.utilization:
-            raise ConfigError("monitor has no samples; call start()")
+            raise AnalysisError("monitor has no samples; call start()")
         return float(np.mean(self.utilization))

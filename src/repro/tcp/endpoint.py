@@ -24,6 +24,7 @@ from typing import Callable, Optional
 
 from ..cca.base import AckSample, CongestionControl
 from ..errors import TransportError
+from ..obs.bus import BUS as _OBS, EventKind
 from ..sim.engine import Simulator
 from ..sim.network import PathHandles
 from ..sim.packet import Packet, PacketKind, make_ack, make_data
@@ -137,6 +138,7 @@ class TcpSender:
         self.fast_retransmits = 0
         self.timeouts = 0
 
+        cca.bind_flow(flow_id)
         cca.on_connection_start(sim.now)
 
     # -- application interface -------------------------------------------
@@ -351,6 +353,9 @@ class TcpSender:
             self._in_recovery = True
             self._recover_point = self.snd_nxt
             self.fast_retransmits += 1
+            if _OBS.enabled:
+                _OBS.emit(now, EventKind.LOSS, f"tcp:{self.flow_id}",
+                          self.flow_id, float(self.mss))
             self.cca.on_loss(now, self.mss)
 
     def _maybe_exit_recovery(self, now: float) -> None:
@@ -400,6 +405,11 @@ class TcpSender:
             ecn_echo=packet.ecn_echo,
         )
         self.cca.on_ack(sample)
+        if _OBS.enabled:
+            pacing = self.cca.pacing_rate
+            _OBS.emit(now, EventKind.CWND, f"tcp:{self.flow_id}",
+                      self.flow_id, self.cca.cwnd,
+                      {"pacing_rate": pacing} if pacing is not None else None)
 
         if self.inflight_bytes > 0:
             self._arm_rto(restart=True)
@@ -481,6 +491,9 @@ class TcpSender:
             return
         now = self.sim.now
         self.timeouts += 1
+        if _OBS.enabled:
+            _OBS.emit(now, EventKind.RTO, f"tcp:{self.flow_id}",
+                      self.flow_id, float(self.inflight_bytes))
         self.rtt.backoff()
         # Go-back-N: everything outstanding is presumed lost.
         self._segments.clear()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cca import CubicCca, VegasCca
-from repro.errors import ConfigError
+from repro.errors import AnalysisError, ConfigError
 from repro.sim import QueueMonitor, Simulator, UtilizationMonitor, dumbbell
 from repro.tcp import Connection
 from repro.units import mbps, ms
@@ -63,5 +63,19 @@ def test_monitors_reject_bad_config():
         QueueMonitor(sim, path.bottleneck.qdisc, interval=0)
     with pytest.raises(ConfigError):
         UtilizationMonitor(sim, path.bottleneck, interval=-1)
-    with pytest.raises(ConfigError):
-        QueueMonitor(sim, path.bottleneck.qdisc).occupancy_stats()
+
+
+def test_empty_monitors_raise_analysis_error():
+    # Reading a monitor before it has samples is a usage/analysis
+    # error, not a configuration error: the monitor was constructed
+    # fine, it just was never started (or never ticked).
+    sim = Simulator()
+    path = dumbbell(sim, mbps(10), ms(40))
+    queue_mon = QueueMonitor(sim, path.bottleneck.qdisc)
+    with pytest.raises(AnalysisError):
+        queue_mon.occupancy_stats()
+    with pytest.raises(AnalysisError):
+        queue_mon.standing_delay(mbps(10))
+    util_mon = UtilizationMonitor(sim, path.bottleneck)
+    with pytest.raises(AnalysisError):
+        util_mon.mean_utilization
