@@ -25,7 +25,13 @@ The package provides, bottom-up:
   figures and the ablations DESIGN.md calls out.
 * :mod:`repro.runtime` -- the process-pool parallel map the campaign,
   the NDT pipeline, and parameter sweeps fan out over (deterministic:
-  serial and parallel runs are bit-for-bit identical).
+  serial and parallel runs are bit-for-bit identical), plus
+  fault-tolerant task execution (retry, backoff, timeout, quarantine).
+* :mod:`repro.store` -- the content-addressed result store and
+  resumable campaign scheduler: deterministic config fingerprints,
+  atomic on-disk artifacts (``$REPRO_STORE``/``~/.cache/repro``),
+  per-task checkpointing, and cache-aware reruns that only execute
+  what changed.
 
 Quickstart::
 

@@ -14,10 +14,18 @@ Subcommands:
   NDT dataset.
 * ``repro bench`` -- quick built-in performance smoke (engine, PELT,
   pipeline, campaign serial vs parallel).
+* ``repro store stat|ls|gc`` -- inspect and prune the result store.
 
 Parallelism: experiments with independent inner work (the campaign,
 the Figure 2 pipeline) accept ``--workers N``; without the flag the
 ``REPRO_WORKERS`` environment variable, then the CPU count, decides.
+
+Caching: ``repro run`` / ``repro trace`` / ``repro metrics`` consult
+the content-addressed result store (``$REPRO_STORE``, default
+``~/.cache/repro``) unless ``--no-cache`` is given -- a repeated run
+with identical parameters is served from disk, and an interrupted
+campaign re-executes only its unfinished paths (add ``--resume`` to
+also skip paths the previous run quarantined as persistently failing).
 """
 
 from __future__ import annotations
@@ -69,8 +77,9 @@ def _resolve_experiment(args):
     """Map CLI args to ``(run_fn, params)``; None when unknown.
 
     Shared by ``run``, ``trace``, and ``metrics``: handles smoke
-    overrides and the optional ``--seed`` / ``--workers`` passthrough
-    (silently meaningful only for experiments that accept them).
+    overrides and the optional ``--seed`` / ``--workers`` /
+    ``--resume`` passthrough (silently meaningful only for experiments
+    that accept them).
     """
     from .experiments import EXPERIMENTS
     if args.experiment not in EXPERIMENTS:
@@ -93,7 +102,35 @@ def _resolve_experiment(args):
         else:
             print(f"note: {args.experiment} takes no workers; ignoring",
                   file=sys.stderr)
+    if getattr(args, "resume", False):
+        if "resume" in accepted:
+            params["resume"] = True
+        else:
+            print(f"note: {args.experiment} takes no resume; ignoring",
+                  file=sys.stderr)
     return run_fn, params
+
+
+def _cli_store(args):
+    """The store the command should use (None when ``--no-cache``)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from .store import ArtifactStore
+    return ArtifactStore()
+
+
+def _experiment_key(name: str, params: dict) -> str:
+    """Store key memoizing a whole experiment run.
+
+    ``workers`` is excluded: the determinism contract makes results
+    worker-count invariant, so a run at ``--workers 8`` can serve the
+    same config at ``--workers 1``.
+    """
+    from .store import fingerprint
+    payload = {k: v for k, v in params.items()
+               if k not in ("workers", "resume")}
+    return fingerprint({"experiment": name, "params": payload},
+                       kind="experiment")
 
 
 def cmd_run(args) -> int:
@@ -102,17 +139,41 @@ def cmd_run(args) -> int:
     if resolved is None:
         return 2
     run_fn, params = resolved
-    result = run_fn(**params)
+    from .store import using_store
+    store = _cli_store(args)
+    cached = False
+    with using_store(store):
+        result = None
+        key = None
+        if store is not None:
+            key = _experiment_key(args.experiment, params)
+            result = store.get(key)
+            cached = result is not None
+        if result is None:
+            result = run_fn(**params)
+            if store is not None and key is not None:
+                store.put(key, result, kind="experiment",
+                          label=args.experiment)
     print(result.text)
-    print(f"\n[{result.experiment} finished in {result.elapsed_s:.1f}s]")
+    tag = " (cached)" if cached else ""
+    print(f"\n[{result.experiment} finished in "
+          f"{result.elapsed_s:.1f}s{tag}]")
     if args.out:
         from .obs.metrics import REGISTRY
         if len(REGISTRY):
             result.attachments.setdefault("metrics_registry",
                                           REGISTRY.snapshot())
-        written = result.save(args.out)
+        from pathlib import Path
+        prior = (Path(args.out) / result.experiment
+                 / "report.txt").exists()
+        written = result.save(args.out, force=args.force)
         for path in written:
             print(f"wrote {path}")
+        if prior and not args.force:
+            print(f"note: {args.out} already held a "
+                  f"{result.experiment} result; the new files were "
+                  "versioned alongside it (use --force to overwrite "
+                  "in place)")
     return 0
 
 
@@ -123,8 +184,10 @@ def cmd_trace(args) -> int:
         return 2
     run_fn, params = resolved
     from .obs.bus import JsonlTraceWriter
+    from .store import using_store
     kinds = args.kinds.split(",") if args.kinds else None
-    with JsonlTraceWriter(args.out, kinds=kinds) as writer:
+    with JsonlTraceWriter(args.out, kinds=kinds) as writer, \
+            using_store(_cli_store(args)):
         result = run_fn(**params)
     print(f"{result.experiment}: wrote {writer.count} events "
           f"to {args.out}")
@@ -140,8 +203,10 @@ def cmd_metrics(args) -> int:
         return 2
     run_fn, params = resolved
     from .obs.metrics import REGISTRY
+    from .store import using_store
     REGISTRY.reset()
-    result = run_fn(**params)
+    with using_store(_cli_store(args)):
+        result = run_fn(**params)
     snapshot = REGISTRY.snapshot()
     for name, entry in snapshot.items():
         if entry["type"] == "histogram":
@@ -185,6 +250,83 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover
+
+
+def cmd_store(args) -> int:
+    """``repro store stat|ls|gc``: inspect and prune the result store."""
+    import time
+
+    from .store import ArtifactStore
+    store = ArtifactStore(args.root)
+    if args.store_command == "stat":
+        stat = store.stat()
+        print(f"store root:    {stat['root']}")
+        print(f"entries:       {stat['entries']}")
+        print(f"size:          {_human_bytes(stat['bytes'])}")
+        print(f"lifetime hits: {stat['hits']}  misses: "
+              f"{stat['misses']}")
+        for kind, bucket in sorted(stat["by_kind"].items()):
+            print(f"  {kind:12s} {bucket['entries']:>6d} entries  "
+                  f"{_human_bytes(bucket['bytes'])}")
+        checkpoints = sorted((store.root / "checkpoints").glob("*.json"))
+        if checkpoints:
+            import json
+            print(f"checkpoints:   {len(checkpoints)}")
+            for path in checkpoints:
+                try:
+                    with open(path) as f:
+                        manifest = json.load(f)
+                except (OSError, ValueError):
+                    continue
+                print(f"  {path.stem[:12]}  {manifest.get('status')}  "
+                      f"done={len(manifest.get('done', {}))}"
+                      f"/{manifest.get('total', 0)}  "
+                      f"failed={len(manifest.get('failed', {}))}")
+        return 0
+    if args.store_command == "ls":
+        entries = sorted(store.entries().items(),
+                         key=lambda kv: kv[1]["last_access"],
+                         reverse=True)
+        if args.kind:
+            entries = [(k, e) for k, e in entries
+                       if e["kind"] == args.kind]
+        now = time.time()
+        print(f"{'key':12s}  {'kind':10s}  {'size':>10s}  "
+              f"{'hits':>5s}  {'age':>8s}  label")
+        for key, entry in entries[:args.limit]:
+            age_s = max(0.0, now - entry["created"])
+            age = (f"{age_s / 86400:.1f}d" if age_s >= 86400
+                   else f"{age_s / 3600:.1f}h" if age_s >= 3600
+                   else f"{age_s:.0f}s")
+            print(f"{key[:12]}  {entry['kind']:10s}  "
+                  f"{_human_bytes(entry['size']):>10s}  "
+                  f"{entry['hits']:>5d}  {age:>8s}  {entry['label']}")
+        if len(entries) > args.limit:
+            print(f"... and {len(entries) - args.limit} more "
+                  f"(--limit to see them)")
+        return 0
+    if args.store_command == "gc":
+        if args.max_age_days is None and args.max_bytes is None:
+            print("gc needs --max-age-days and/or --max-bytes",
+                  file=sys.stderr)
+            return 2
+        evicted, freed = store.prune(
+            max_age_s=(None if args.max_age_days is None
+                       else args.max_age_days * 86400.0),
+            max_bytes=args.max_bytes)
+        print(f"evicted {evicted} entries, freed {_human_bytes(freed)}")
+        return 0
+    print(f"unknown store command {args.store_command!r}",
+          file=sys.stderr)  # pragma: no cover
+    return 2  # pragma: no cover
+
+
 def cmd_synth_ndt(args) -> int:
     """``repro synth-ndt``: write a synthetic NDT dataset as JSONL."""
     from .ndt.synth import SyntheticNdtGenerator
@@ -207,15 +349,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list experiments")
     p_list.set_defaults(fn=cmd_list)
 
+    def add_cache_flags(p, with_resume: bool = True):
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the result store entirely")
+        if with_resume:
+            p.add_argument("--resume", action="store_true",
+                           help="resume an interrupted campaign from "
+                                "its checkpoint manifest (skip paths "
+                                "it quarantined as failing)")
+
     p_run = sub.add_parser("run", help="run an experiment")
     p_run.add_argument("experiment")
     p_run.add_argument("--out", help="directory for CSV/JSON artifacts")
+    p_run.add_argument("--force", action="store_true",
+                       help="overwrite existing results under --out "
+                            "instead of versioning them")
     p_run.add_argument("--smoke", action="store_true",
                        help="reduced parameters, seconds not minutes")
     p_run.add_argument("--seed", type=int)
     p_run.add_argument("--workers", type=int,
                        help="worker processes for parallel experiments "
                             "(default: $REPRO_WORKERS, then CPU count)")
+    add_cache_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_trace = sub.add_parser(
@@ -230,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reduced parameters, seconds not minutes")
     p_trace.add_argument("--seed", type=int)
     p_trace.add_argument("--workers", type=int)
+    add_cache_flags(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
 
     p_metrics = sub.add_parser(
@@ -241,7 +397,31 @@ def build_parser() -> argparse.ArgumentParser:
                            help="reduced parameters, seconds not minutes")
     p_metrics.add_argument("--seed", type=int)
     p_metrics.add_argument("--workers", type=int)
+    add_cache_flags(p_metrics)
     p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_store = sub.add_parser(
+        "store", help="inspect and prune the result store")
+    p_store.add_argument("--root",
+                         help="store directory (default: $REPRO_STORE, "
+                              "then ~/.cache/repro)")
+    store_sub = p_store.add_subparsers(dest="store_command",
+                                       required=True)
+    store_sub.add_parser("stat", help="totals, hit rates, checkpoints")
+    p_store_ls = store_sub.add_parser("ls", help="list store entries")
+    p_store_ls.add_argument("--kind",
+                            help="only entries of this kind "
+                                 "(path, sweep, experiment, fig2)")
+    p_store_ls.add_argument("--limit", type=int, default=30)
+    p_store_gc = store_sub.add_parser(
+        "gc", help="evict by age and/or LRU byte budget")
+    p_store_gc.add_argument("--max-age-days", type=float,
+                            help="evict entries not accessed in this "
+                                 "many days")
+    p_store_gc.add_argument("--max-bytes", type=int,
+                            help="then evict least-recently-used "
+                                 "entries down to this budget")
+    p_store.set_defaults(fn=cmd_store)
 
     p_bench = sub.add_parser(
         "bench", help="quick built-in performance smoke")

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ConfigError
-from ..runtime import parallel_map
+from ..runtime import FaultPolicy, parallel_map
 from ..qdisc.fifo import DropTailQueue
 from ..qdisc.fq import DrrFairQueue
 from ..sim.engine import Simulator
@@ -92,11 +92,34 @@ class PathResult:
     verdict: DetectorVerdict
 
 
+@dataclass(frozen=True)
+class FailedPath:
+    """A path quarantined by the fault-tolerant scheduler.
+
+    Attributes:
+        spec: the path that kept failing.
+        error: the last attempt's failure message.
+        error_type: the last attempt's exception class name.
+        attempts: attempts consumed before quarantine.
+    """
+
+    spec: PathSpec
+    error: str
+    error_type: str
+    attempts: int
+
+
 @dataclass
 class CampaignResult:
-    """All per-path results plus aggregate quality measures."""
+    """All per-path results plus aggregate quality measures.
+
+    ``failed`` lists paths the fault-tolerant scheduler quarantined
+    (empty on the default raising path); aggregate measures are over
+    the successful ``results`` only.
+    """
 
     results: list[PathResult] = field(default_factory=list)
+    failed: list[FailedPath] = field(default_factory=list)
 
     @property
     def fraction_contending(self) -> float:
@@ -211,6 +234,11 @@ def run_path(spec: PathSpec, duration: float = 30.0,
     return PathResult(spec=spec, report=report, verdict=verdict)
 
 
+#: Default sentinel: ``run(store=...)`` omitted means "use the ambient
+#: store from :func:`repro.store.active_store`".
+_AUTO = object()
+
+
 class Campaign:
     """A full measurement study over a sampled path population.
 
@@ -233,23 +261,86 @@ class Campaign:
         self.detector = detector if detector is not None \
             else ContentionDetector()
 
+    # -- store fingerprints ----------------------------------------------
+
+    def _task_config(self, spec: PathSpec) -> dict:
+        return {"spec": spec, "duration": self.duration,
+                "detector": self.detector.fingerprint_config()}
+
+    def path_key(self, spec: PathSpec) -> str:
+        """The store fingerprint of one path's full task config."""
+        from ..store import fingerprint
+        return fingerprint(self._task_config(spec), kind="path")
+
+    def fingerprint(self) -> str:
+        """The whole campaign's config fingerprint (names the
+        checkpoint manifest)."""
+        from ..store import fingerprint
+        return fingerprint(
+            {"specs": list(self.specs), "duration": self.duration,
+             "detector": self.detector.fingerprint_config()},
+            kind="campaign")
+
+    # -- execution -------------------------------------------------------
+
     def run(self, progress=None, workers: int | None = None,
-            chunk_size: int | None = None) -> CampaignResult:
+            chunk_size: int | None = None, store=_AUTO,
+            resume: bool = False,
+            policy: FaultPolicy | None = None) -> CampaignResult:
         """Run every path, optionally across worker processes.
 
         Each path simulation is independent and carries its own seed,
         so the result is bit-for-bit identical for any ``workers``
-        value; per-path results stay in ``self.specs`` order.
+        value -- and, because cached results are the pickled originals,
+        also identical between fresh, cached, and resumed runs; per-path
+        results stay in ``self.specs`` order.
 
         Args:
             progress: optional ``fn(done, total)`` completion callback.
             workers: worker processes; ``None`` defers to the
                 ``REPRO_WORKERS`` environment variable, then the CPU
                 count.  ``workers=1`` forces the serial path.
-            chunk_size: paths per dispatched task (default: automatic).
+            chunk_size: paths per dispatched task (default: automatic;
+                1 when a store is active, so every completed path
+                checkpoints immediately).
+            store: a :class:`repro.store.ArtifactStore`; omitted means
+                the ambient store (``REPRO_CACHE``), ``None`` disables
+                caching outright.  With a store, completed paths are
+                cached and checkpointed, failures are quarantined into
+                :attr:`CampaignResult.failed`, and an interrupted
+                campaign re-executes only its unfinished paths.
+            resume: with a store, additionally honor the prior
+                checkpoint manifest's quarantine list instead of
+                retrying known-failed paths.
+            policy: retry/timeout policy for the fault-tolerant path
+                (store runs only; default :class:`FaultPolicy`).
         """
         job = functools.partial(run_path, duration=self.duration,
                                 detector=self.detector)
-        results = parallel_map(job, self.specs, workers=workers,
-                               chunk_size=chunk_size, progress=progress)
-        return CampaignResult(results=results)
+        if store is _AUTO:
+            from ..store import active_store
+            store = active_store()
+        if store is None:
+            # Default raising path: no cache, first failure propagates.
+            results = parallel_map(job, self.specs, workers=workers,
+                                   chunk_size=chunk_size,
+                                   progress=progress)
+            return CampaignResult(results=results)
+        from ..store import ResumableScheduler
+        labels = [f"path[{i}] {s.cross_traffic}@{s.qdisc} "
+                  f"{s.rate_mbps:g}mbps/{s.rtt_ms:g}ms seed={s.seed}"
+                  for i, s in enumerate(self.specs)]
+        scheduler = ResumableScheduler(store, self.fingerprint(),
+                                       resume=resume, kind="path")
+        report = scheduler.run(
+            job, self.specs, [self.path_key(s) for s in self.specs],
+            labels=labels, workers=workers, chunk_size=chunk_size,
+            policy=policy if policy is not None else FaultPolicy(),
+            progress=progress)
+        failed = [FailedPath(spec=self.specs[o.index], error=o.error,
+                             error_type=o.error_type,
+                             attempts=o.attempts)
+                  for o in report.failed]
+        return CampaignResult(
+            results=[r for r in report.results if r is not None],
+            failed=failed)

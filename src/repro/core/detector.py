@@ -74,6 +74,18 @@ class ContentionDetector:
         self.clean_below = clean_below
         self.contending_above = contending_above
 
+    def fingerprint_config(self) -> dict:
+        """Canonical config for :mod:`repro.store` fingerprints: two
+        detectors with equal parameters must hash identically."""
+        return {
+            "threshold": self.threshold,
+            "rule": self.rule,
+            "min_fraction": self.min_fraction,
+            "warmup": self.warmup,
+            "clean_below": self.clean_below,
+            "contending_above": self.contending_above,
+        }
+
     def verdict(self, readings: list[ElasticityReading] | tuple
                 ) -> DetectorVerdict:
         """Judge one path's readings."""

@@ -1,7 +1,10 @@
 """Serializable result records for measurement outputs.
 
 Experiments write their rows through these helpers so every figure's
-backing data lands as CSV next to the printed output.
+backing data lands as CSV next to the printed output.  Writes are
+atomic (tmp + ``os.replace`` via :mod:`repro.store.atomic`): a killed
+run leaves either the previous complete file or the new one, never a
+truncated artifact.
 """
 
 from __future__ import annotations
@@ -12,18 +15,19 @@ from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
+from ..store.atomic import atomic_open
+
 
 def write_csv(path, rows: Iterable[Mapping | Sequence],
               header: Sequence[str] | None = None) -> None:
-    """Write rows (dicts or sequences) as CSV.
+    """Atomically write rows (dicts or sequences) as CSV.
 
     Dict rows take their header from the first row's keys unless
     ``header`` is given; sequence rows require ``header``.
     """
     rows = list(rows)
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", newline="") as f:
+    with atomic_open(path, "w", newline="") as f:
         if not rows:
             if header:
                 csv.writer(f).writerow(header)
@@ -43,9 +47,9 @@ def write_csv(path, rows: Iterable[Mapping | Sequence],
 
 
 def write_json(path, payload) -> None:
-    """Write a (possibly dataclass-bearing) payload as pretty JSON."""
+    """Atomically write a (possibly dataclass-bearing) payload as
+    pretty JSON."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
 
     def default(obj):
         if is_dataclass(obj) and not isinstance(obj, type):
@@ -56,6 +60,6 @@ def write_json(path, payload) -> None:
             return obj.tolist()
         raise TypeError(f"not JSON-serializable: {type(obj)}")
 
-    with open(path, "w") as f:
+    with atomic_open(path, "w") as f:
         json.dump(payload, f, indent=2, default=default)
         f.write("\n")

@@ -39,3 +39,16 @@ class TransportError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
+
+
+class SweepPointError(ReproError):
+    """One sweep point's ``run_fn`` raised.
+
+    The message names the failing sweep value, because worker-process
+    re-raises lose the original exception's context; the original is
+    chained as ``__cause__`` on the serial path.
+    """
+
+
+class StoreError(ReproError):
+    """The artifact store encountered an unrecoverable condition."""

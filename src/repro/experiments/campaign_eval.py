@@ -34,17 +34,22 @@ def _roc_rows(campaign: CampaignResult,
 def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
         fq_fraction: float = 0.3,
         roc_thresholds: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0, 6.0, 9.0),
-        workers: int | None = None) -> ExperimentResult:
+        workers: int | None = None,
+        resume: bool = False) -> ExperimentResult:
     """Run the campaign and evaluate the hypothesis.
 
     ``workers`` fans the per-path probe simulations out over processes
     (default: ``REPRO_WORKERS`` env var, then CPU count); results are
-    identical for any value.
+    identical for any value.  When the ambient result store is active
+    (``repro run`` without ``--no-cache``, or ``REPRO_CACHE=1``),
+    completed paths are cached and checkpointed; ``resume`` addition-
+    ally skips paths a prior interrupted run quarantined as failing.
     """
     with Stopwatch() as watch:
         campaign = Campaign(n_paths=n_paths, seed=seed,
                             duration=duration,
-                            fq_fraction=fq_fraction).run(workers=workers)
+                            fq_fraction=fq_fraction).run(workers=workers,
+                                                         resume=resume)
         evaluation = evaluate_hypothesis(campaign)
         roc = _roc_rows(campaign, roc_thresholds)
         groups = campaign.by_cross_traffic()
@@ -69,6 +74,15 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
 
     quality = campaign.detector_quality()
     masked = campaign.masked_summary()
+    failed_parts = []
+    if campaign.failed:
+        failed_parts = [
+            "",
+            f"QUARANTINED: {len(campaign.failed)} path(s) kept failing "
+            "and were excluded from the aggregates:",
+        ] + [f"  {f.spec.cross_traffic}@{f.spec.qdisc} "
+             f"seed={f.spec.seed}: {f.error_type}: {f.error} "
+             f"({f.attempts} attempts)" for f in campaign.failed]
     parts = [
         f"E7: elasticity-probe campaign over {n_paths} sampled paths "
         f"({fq_fraction:.0%} with FQ bottlenecks)",
@@ -95,8 +109,9 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
             header=("threshold", "precision", "recall", "accuracy")),
         "",
         evaluation.describe(),
-    ]
+    ] + failed_parts
     metrics = {
+        "n_failed_paths": float(len(campaign.failed)),
         "fraction_contending": campaign.fraction_contending,
         "true_fraction_contending": campaign.true_fraction_contending,
         "detector_precision": quality["precision"],

@@ -5,6 +5,12 @@ the CLI and benchmarks call it with defaults (or scaled-down "smoke"
 parameters).  Results carry printable text, tabular rows for CSV
 export, and a metrics dict that tests and EXPERIMENTS.md assertions key
 on.
+
+All report artifacts are written atomically (tmp + ``os.replace`` via
+:mod:`repro.store.atomic`), so a run killed mid-save never leaves a
+truncated ``report.txt`` or ``metrics.json``; and saving over an
+existing result either versions the new files (``report.1.txt``) or
+requires ``force=True``.
 """
 
 from __future__ import annotations
@@ -15,7 +21,16 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 from ..core.report import write_csv, write_json
+from ..errors import SweepPointError
 from ..runtime import parallel_map
+from ..store.atomic import atomic_write_text
+
+
+def versioned_path(path: Path, version: int) -> Path:
+    """``report.txt`` -> ``report.3.txt`` for version 3 (0 = as-is)."""
+    if version <= 0:
+        return path
+    return path.with_name(f"{path.stem}.{version}{path.suffix}")
 
 
 @dataclass
@@ -41,26 +56,38 @@ class ExperimentResult:
     elapsed_s: float = 0.0
     attachments: dict[str, Mapping] = field(default_factory=dict)
 
-    def save(self, out_dir: str | Path) -> list[Path]:
-        """Write text, metrics, and CSV tables under ``out_dir``."""
+    def save(self, out_dir: str | Path, force: bool = False) -> list[Path]:
+        """Write text, metrics, and CSV tables under ``out_dir``.
+
+        A prior result in the target directory is never silently
+        overwritten: with ``force=True`` the new files replace it
+        (atomically); otherwise they are written under the next free
+        version suffix (``report.1.txt``, ``metrics.1.json``, ...)
+        and the prior artifacts stay untouched.
+        """
         out = Path(out_dir) / self.experiment
         out.mkdir(parents=True, exist_ok=True)
+        version = 0
+        if not force and (out / "report.txt").exists():
+            version = 1
+            while versioned_path(out / "report.txt", version).exists():
+                version += 1
         written = []
-        text_path = out / "report.txt"
-        text_path.write_text(self.text + "\n")
+        text_path = versioned_path(out / "report.txt", version)
+        atomic_write_text(text_path, self.text + "\n")
         written.append(text_path)
-        metrics_path = out / "metrics.json"
+        metrics_path = versioned_path(out / "metrics.json", version)
         write_json(metrics_path, {"experiment": self.experiment,
                                   "params": self.params,
                                   "metrics": self.metrics,
                                   "elapsed_s": self.elapsed_s})
         written.append(metrics_path)
         for name, rows in self.tables.items():
-            csv_path = out / f"{name}.csv"
+            csv_path = versioned_path(out / f"{name}.csv", version)
             write_csv(csv_path, rows)
             written.append(csv_path)
         for name, payload in self.attachments.items():
-            json_path = out / f"{name}.json"
+            json_path = versioned_path(out / f"{name}.json", version)
             write_json(json_path, payload)
             written.append(json_path)
         return written
@@ -78,14 +105,43 @@ class Stopwatch:
         return False
 
 
+class _SweepPoint:
+    """Picklable sweep-task wrapper that names the failing value.
+
+    The pool transfers worker exceptions by pickling, which drops
+    ``__cause__`` chains and tracebacks -- so without this wrapper a
+    failed parallel sweep cannot say *which* value broke.  The wrapper
+    raises :class:`SweepPointError` whose message carries the value;
+    on the serial path the original exception is also chained.
+    """
+
+    def __init__(self, run_fn, label: str):
+        self.run_fn = run_fn
+        self.label = label
+
+    def __call__(self, value):
+        try:
+            return self.run_fn(value)
+        except SweepPointError:
+            raise
+        except Exception as exc:
+            raise SweepPointError(
+                f"sweep point {self.label}={value!r} failed: "
+                f"{type(exc).__name__}: {exc}") from exc
+
+
 def sweep(values: Sequence, run_fn, label: str = "value",
-          workers: int | None = None, progress=None) -> list[dict]:
+          workers: int | None = None, progress=None,
+          store=None) -> list[dict]:
     """Run ``run_fn(v)`` for each value, collecting metric rows.
 
     Sweep points are independent, so they are fanned out over worker
     processes when ``run_fn`` is picklable (a module-level function or
     ``functools.partial`` of one); closures fall back to the serial
     loop.  Rows come back in ``values`` order either way.
+
+    A failing sweep point raises :class:`repro.errors.SweepPointError`
+    naming the value that broke (in both serial and pool mode).
 
     Args:
         values: the sweep points.
@@ -94,12 +150,56 @@ def sweep(values: Sequence, run_fn, label: str = "value",
         workers: worker processes; ``None`` defers to ``REPRO_WORKERS``
             then the CPU count; ``1`` forces serial.
         progress: optional ``fn(done, total)`` completion callback.
+        store: a :class:`repro.store.ArtifactStore` caching one
+            :class:`ExperimentResult` per (run_fn config, value); only
+            uncached points execute.  ``None`` disables caching
+            (``run_fn`` closures cannot be cached -- their config has
+            no canonical fingerprint).
     """
-    results = parallel_map(run_fn, values, workers=workers,
-                           chunk_size=1, progress=progress)
+    task = _SweepPoint(run_fn, label)
+    if store is None:
+        results = parallel_map(task, values, workers=workers,
+                               chunk_size=1, progress=progress)
+    else:
+        results = _sweep_cached(task, values, label, store,
+                                workers=workers, progress=progress)
     rows = []
     for v, result in zip(values, results):
         row = {label: v}
         row.update(result.metrics)
         rows.append(row)
     return rows
+
+
+def _sweep_cached(task: _SweepPoint, values: Sequence, label: str,
+                  store, workers: int | None, progress) -> list:
+    """Store-backed sweep body: compute only the uncached points."""
+    from ..store import callable_config, fingerprint
+
+    fn_config = callable_config(task.run_fn)
+    keys = [fingerprint({"fn": fn_config, "label": label, "value": v},
+                        kind="sweep") for v in values]
+    results: list = [None] * len(values)
+    pending: list[int] = []
+    sentinel = object()
+    for i, key in enumerate(keys):
+        cached = store.get(key, sentinel)
+        if cached is sentinel:
+            pending.append(i)
+        else:
+            results[i] = cached
+    done_base = len(values) - len(pending)
+    if progress is not None and done_base:
+        progress(done_base, len(values))
+    if pending:
+        computed = parallel_map(
+            task, [values[i] for i in pending], workers=workers,
+            chunk_size=1,
+            progress=(None if progress is None else
+                      lambda done, _: progress(done_base + done,
+                                               len(values))))
+        for i, result in zip(pending, computed):
+            store.put(keys[i], result, kind="sweep",
+                      label=f"{label}={values[i]!r}")
+            results[i] = result
+    return results

@@ -128,11 +128,28 @@ def analyse_flow(record: NdtRecord,
     )
 
 
+def dataset_fingerprint(dataset: NdtDataset,
+                        min_relative_shift: float) -> str:
+    """Store fingerprint of a whole pipeline run's config.
+
+    Hashes every record incrementally (datasets run to tens of
+    thousands of flows) plus the analysis parameters, so any change to
+    the data or the threshold invalidates the cached result.
+    """
+    from ..store import fingerprint_stream
+    return fingerprint_stream(
+        [{"min_relative_shift": min_relative_shift}]
+        + list(dataset.records), kind="fig2-pipeline")
+
+
+_AUTO = object()
+
+
 def run_pipeline(dataset: NdtDataset,
                  min_relative_shift: float = 0.25,
                  workers: int | None = None,
                  chunk_size: int | None = None,
-                 progress=None) -> Fig2Result:
+                 progress=None, store=_AUTO) -> Fig2Result:
     """Run the full §3.1 pipeline over a dataset.
 
     Per-flow analysis (categorize + change-point detection) is
@@ -147,7 +164,24 @@ def run_pipeline(dataset: NdtDataset,
             then the CPU count; ``1`` forces serial.
         chunk_size: flows per dispatched task (default: automatic).
         progress: optional ``fn(done, total)`` completion callback.
+        store: a :class:`repro.store.ArtifactStore` caching the whole
+            :class:`Fig2Result` keyed by dataset content + parameters
+            (per-flow tasks are too cheap to cache individually).
+            Defaults to the ambient store
+            (:func:`repro.store.active_store`); pass ``None`` to
+            disable caching.
     """
+    if store is _AUTO:
+        from ..store import active_store
+        store = active_store()
+    key = None
+    if store is not None:
+        key = dataset_fingerprint(dataset, min_relative_shift)
+        cached = store.get(key)
+        if cached is not None:
+            if progress is not None:
+                progress(len(dataset.records), len(dataset.records))
+            return cached
     job = functools.partial(analyse_flow,
                             min_relative_shift=min_relative_shift)
     flows = parallel_map(job, dataset.records, workers=workers,
@@ -158,6 +192,10 @@ def run_pipeline(dataset: NdtDataset,
     remaining_with_shifts = sum(
         1 for f in flows
         if f.category is FlowCategory.REMAINING and f.inferred_contention)
-    return Fig2Result(total=len(flows), counts=counts,
-                      remaining_with_shifts=remaining_with_shifts,
-                      flows=flows)
+    result = Fig2Result(total=len(flows), counts=counts,
+                        remaining_with_shifts=remaining_with_shifts,
+                        flows=flows)
+    if store is not None and key is not None:
+        store.put(key, result, kind="fig2",
+                  label=f"fig2 n={len(flows)}")
+    return result

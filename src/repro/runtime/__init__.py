@@ -11,6 +11,12 @@ share:
   chunked, process-pool ``map`` with progress callbacks and an
   automatic serial fallback (``workers <= 1``, unpicklable work, or an
   unavailable pool all degrade gracefully to the plain loop).
+* :meth:`ParallelExecutor.run_tasks` / :meth:`ParallelExecutor.imap_tasks`
+  -- fault-tolerant execution under a :class:`FaultPolicy` (per-task
+  retry with exponential backoff, per-task timeout, deterministic
+  ``REPRO_FAULT_RATE`` fault injection); failures come back as
+  ``ok=False`` :class:`TaskOutcome` records instead of exceptions, so
+  the :mod:`repro.store` scheduler can quarantine them.
 * :func:`resolve_workers` -- worker-count policy: explicit argument,
   then the ``REPRO_WORKERS`` environment variable, then the CPU count.
 * :func:`derive_seed` -- per-task deterministic child seeds.
@@ -21,8 +27,12 @@ result list is bit-for-bit identical for any worker count -- results
 are always reassembled in submission order.
 """
 
-from .pool import (DEFAULT_WORKERS_ENV, ParallelExecutor, derive_seed,
-                   parallel_map, resolve_workers)
+from .pool import (DEFAULT_WORKERS_ENV, FAULT_RATE_ENV, FaultPolicy,
+                   InjectedFault, ParallelExecutor, TaskOutcome,
+                   TaskTimeout, derive_seed, fault_rate, parallel_map,
+                   resolve_workers)
 
-__all__ = ["DEFAULT_WORKERS_ENV", "ParallelExecutor", "derive_seed",
-           "parallel_map", "resolve_workers"]
+__all__ = ["DEFAULT_WORKERS_ENV", "FAULT_RATE_ENV", "FaultPolicy",
+           "InjectedFault", "ParallelExecutor", "TaskOutcome",
+           "TaskTimeout", "derive_seed", "fault_rate", "parallel_map",
+           "resolve_workers"]

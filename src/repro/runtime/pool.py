@@ -15,22 +15,46 @@ Design notes
   sandboxes without semaphores), or running *inside* a pool worker all
   fall back to the plain serial loop -- correctness never depends on
   the pool, so doctests, Windows ``spawn``, and CI stay correct.
+* **Fault tolerance.**  :meth:`ParallelExecutor.run_tasks` applies a
+  :class:`FaultPolicy` -- per-task retry with exponential backoff and a
+  per-task wall-clock timeout -- and returns a :class:`TaskOutcome` per
+  item instead of raising, so one persistently failing task quarantines
+  instead of killing a thousand-task campaign.  ``REPRO_FAULT_RATE``
+  injects deterministic pseudo-random faults before task bodies, which
+  is how the retry path is exercised in tests and CI.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import hashlib
 import os
 import pickle
+import signal
+import threading
 import time
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
 from ..obs.metrics import REGISTRY as _METRICS
 
 #: Environment variable consulted when no explicit worker count is given.
 DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
+
+#: Probability (0..1) of injecting a fault before each task attempt.
+#: Deterministic per (task label, attempt): the same campaign under the
+#: same rate always fails -- and recovers -- identically.
+FAULT_RATE_ENV = "REPRO_FAULT_RATE"
+
+
+class InjectedFault(ReproError):
+    """A fault injected by ``REPRO_FAULT_RATE`` (testing hook)."""
+
+
+class TaskTimeout(ReproError):
+    """A task exceeded its :attr:`FaultPolicy.timeout_s` deadline."""
 
 #: Environment marker set inside pool workers so nested ``parallel_map``
 #: calls (a parallel sweep of parallel campaigns) degrade to serial
@@ -66,6 +90,159 @@ def derive_seed(base_seed: int, index: int, name: str = "task") -> int:
     """
     digest = hashlib.sha256(f"{base_seed}:{name}:{index}".encode()).digest()
     return int.from_bytes(digest[:8], "little") % (2**63)
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry/timeout policy for fault-tolerant task execution.
+
+    Attributes:
+        retries: additional attempts after the first failure.
+        backoff_s: sleep before the first retry; each further retry
+            multiplies it by ``backoff_factor`` (exponential backoff).
+        backoff_factor: backoff growth per retry.
+        timeout_s: per-attempt wall-clock deadline (POSIX only --
+            enforced via ``SIGALRM``; silently unenforced elsewhere).
+            ``None`` disables the deadline.
+    """
+
+    retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    timeout_s: float | None = None
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0: {self.retries}")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"invalid backoff: {self.backoff_s}/{self.backoff_factor}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be > 0: {self.timeout_s}")
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one fault-tolerant task.
+
+    Attributes:
+        index: the item's position in the submitted sequence.
+        label: the task's display/quarantine label.
+        ok: True when some attempt succeeded.
+        value: the task's return value (None on failure).
+        attempts: attempts consumed (1 = first try succeeded).
+        error: failure message of the last attempt ("" on success).
+        error_type: exception class name of the last attempt.
+    """
+
+    index: int
+    label: str
+    ok: bool
+    value: object = None
+    attempts: int = 1
+    error: str = ""
+    error_type: str = ""
+
+
+def fault_rate() -> float:
+    """The injected-fault probability from ``REPRO_FAULT_RATE``."""
+    env = os.environ.get(FAULT_RATE_ENV)
+    if not env:
+        return 0.0
+    try:
+        rate = float(env)
+    except ValueError:
+        raise ConfigError(f"{FAULT_RATE_ENV} must be a float: {env!r}")
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigError(f"{FAULT_RATE_ENV} must be in [0, 1]: {rate}")
+    return rate
+
+
+def _maybe_inject_fault(label: str, attempt: int) -> None:
+    """Raise :class:`InjectedFault` pseudo-randomly but deterministically.
+
+    The decision hashes (label, attempt), so a given task fails on the
+    same attempts every run -- and, because the attempt number is part
+    of the hash, a retry of a failed attempt can succeed.
+    """
+    rate = fault_rate()
+    if rate <= 0.0:
+        return
+    digest = hashlib.sha256(f"fault:{label}:{attempt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "little") / 2**64
+    if fraction < rate:
+        _METRICS.counter("pool.injected_faults").inc()
+        raise InjectedFault(
+            f"injected fault on {label!r} attempt {attempt + 1}")
+
+
+@contextlib.contextmanager
+def _task_deadline(seconds: float | None):
+    """Enforce a wall-clock deadline via ``SIGALRM`` where possible.
+
+    Simulation tasks are CPU-bound pure Python, so a cooperative
+    thread-based timeout could never interrupt them; a real signal can.
+    Outside POSIX main threads the deadline is a no-op (documented in
+    :class:`FaultPolicy`).
+    """
+    usable = (seconds is not None and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeout(f"task exceeded {seconds:g}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class _PolicyTask:
+    """Picklable wrapper running one task under a :class:`FaultPolicy`.
+
+    Called with ``(index, label, item)`` tuples; never raises for task
+    failures -- every path returns a :class:`TaskOutcome`, so pool
+    workers stay alive and exception picklability never matters.
+    """
+
+    def __init__(self, fn: Callable, policy: FaultPolicy | None):
+        self.fn = fn
+        self.policy = policy if policy is not None else FaultPolicy()
+
+    def __call__(self, task: tuple) -> TaskOutcome:
+        index, label, item = task
+        policy = self.policy
+        delay = policy.backoff_s
+        error, error_type = "", ""
+        attempts = 0
+        for attempt in range(policy.retries + 1):
+            attempts = attempt + 1
+            try:
+                with _task_deadline(policy.timeout_s):
+                    _maybe_inject_fault(label, attempt)
+                    value = _apply_timed(self.fn, item)
+                return TaskOutcome(index=index, label=label, ok=True,
+                                   value=value, attempts=attempts)
+            except TaskTimeout as exc:
+                _METRICS.counter("pool.timeouts").inc()
+                error, error_type = str(exc), type(exc).__name__
+            except Exception as exc:
+                error, error_type = str(exc), type(exc).__name__
+            if attempt < policy.retries:
+                _METRICS.counter("pool.retries").inc()
+                if delay > 0:
+                    time.sleep(delay)
+                    delay *= policy.backoff_factor
+        _METRICS.counter("pool.task_failures").inc()
+        return TaskOutcome(index=index, label=label, ok=False,
+                           attempts=attempts, error=error,
+                           error_type=error_type)
 
 
 def _auto_chunk_size(total: int, workers: int) -> int:
@@ -104,6 +281,18 @@ def _run_chunk(fn: Callable, chunk: Sequence) -> tuple[list, dict]:
     """
     _METRICS.reset()
     results = [_apply_timed(fn, item) for item in chunk]
+    return results, _METRICS.snapshot()
+
+
+def _run_outcome_chunk(runner: "_PolicyTask",
+                       chunk: Sequence) -> tuple[list, dict]:
+    """Worker-side body for outcome chunks.
+
+    Like :func:`_run_chunk` but the runner already times/counts each
+    task internally, so items are applied directly.
+    """
+    _METRICS.reset()
+    results = [runner(task) for task in chunk]
     return results, _METRICS.snapshot()
 
 
@@ -229,6 +418,83 @@ class ParallelExecutor:
             for future in futures:
                 future.cancel()
             raise
+
+    # -- fault-tolerant task execution -----------------------------------
+
+    def imap_tasks(self, fn: Callable, items: Iterable,
+                   policy: FaultPolicy | None = None,
+                   labels: Sequence[str] | None = None
+                   ) -> Iterator[TaskOutcome]:
+        """Run tasks under a :class:`FaultPolicy`, yielding outcomes
+        **as they complete** (unordered; see :attr:`TaskOutcome.index`).
+
+        Completion-order delivery is what makes per-task checkpointing
+        possible: :class:`repro.store.scheduler.ResumableScheduler`
+        persists each outcome the moment it arrives, so an interrupted
+        run loses at most the in-flight tasks.
+
+        Task failures never raise -- they arrive as ``ok=False``
+        outcomes after the policy's retries are exhausted.
+        """
+        items = list(items)
+        if labels is None:
+            labels = [f"task-{i}" for i in range(len(items))]
+        else:
+            labels = [str(lab) for lab in labels]
+            if len(labels) != len(items):
+                raise ConfigError(
+                    f"labels/items length mismatch: "
+                    f"{len(labels)} != {len(items)}")
+        tasks = list(zip(range(len(items)), labels, items))
+        runner = _PolicyTask(fn, policy)
+        if (self.serial or len(tasks) <= 1 or not _is_picklable(fn)
+                or not (tasks and _is_picklable(tasks[0]))):
+            yield from (runner(task) for task in tasks)
+            return
+        size = self.chunk_size or 1
+        chunks = _chunks(tasks, size)
+        try:
+            pool = self._ensure_pool()
+            pending = {pool.submit(_run_outcome_chunk, runner, chunk):
+                       chunk for chunk in chunks}
+        except (OSError, ValueError, RuntimeError):
+            self.close()
+            yield from (runner(task) for task in tasks)
+            return
+        try:
+            for future in concurrent.futures.as_completed(list(pending)):
+                chunk_results, worker_metrics = future.result()
+                del pending[future]
+                _METRICS.merge(worker_metrics)
+                yield from chunk_results
+        except concurrent.futures.process.BrokenProcessPool:
+            # A worker died outright; recompute the unfinished chunks
+            # serially so the campaign still completes.
+            leftover = [task for chunk in pending.values()
+                        for task in chunk]
+            self.close()
+            yield from (runner(task) for task in leftover)
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+
+    def run_tasks(self, fn: Callable, items: Iterable,
+                  policy: FaultPolicy | None = None,
+                  labels: Sequence[str] | None = None,
+                  progress=None) -> list[TaskOutcome]:
+        """Fault-tolerant map: one :class:`TaskOutcome` per item, in
+        submission order.  Never raises for task failures."""
+        items = list(items)
+        outcomes: list[TaskOutcome | None] = [None] * len(items)
+        done = 0
+        for outcome in self.imap_tasks(fn, items, policy=policy,
+                                       labels=labels):
+            outcomes[outcome.index] = outcome
+            done += 1
+            if progress is not None:
+                progress(done, len(items))
+        return outcomes  # type: ignore[return-value]
 
 
 def parallel_map(fn: Callable, items: Iterable, workers: int | None = None,

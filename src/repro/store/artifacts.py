@@ -1,0 +1,261 @@
+"""Content-addressed on-disk result store.
+
+Layout (under ``$REPRO_STORE`` or ``~/.cache/repro``)::
+
+    objects/<aa>/<digest>.pkl    pickled result payloads, named by the
+                                 config fingerprint that produced them
+    index.json                   per-entry metadata: size, kind, label,
+                                 creation time, last access, hit count
+    checkpoints/<fp>.json        campaign checkpoint manifests
+                                 (see repro.store.scheduler)
+
+Every write is atomic (tmp + ``os.replace``), so a killed run never
+leaves a truncated object or index.  The index is an accounting cache:
+if it is missing or corrupt it is rebuilt by scanning ``objects/``,
+so deleting ``index.json`` is always safe.
+
+Store operations feed the ``store.*`` counters on the process metrics
+registry (:mod:`repro.obs.metrics`), which is how ``repro metrics``
+and the CI cache-effectiveness job observe hit rates.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from pathlib import Path
+
+from ..errors import ConfigError
+from ..obs.metrics import REGISTRY as _METRICS
+from .atomic import atomic_write_bytes, atomic_write_json
+
+#: Environment variable overriding the store root directory.
+STORE_ENV = "REPRO_STORE"
+
+#: Pinned pickle protocol so objects written by one interpreter stay
+#: readable by the others we support.
+PICKLE_PROTOCOL = 4
+
+_INDEX_VERSION = 1
+
+
+def default_root() -> Path:
+    """The store root: ``$REPRO_STORE``, else ``~/.cache/repro``."""
+    env = os.environ.get(STORE_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ArtifactStore:
+    """Content-addressed pickle store with a JSON accounting index.
+
+    Args:
+        root: store directory; ``None`` defers to :func:`default_root`.
+
+    Keys are fingerprint hex digests from
+    :func:`repro.store.fingerprint.fingerprint`; values are arbitrary
+    picklable results.  ``get``/``put`` update hit/size accounting in
+    ``index.json``; :meth:`prune` evicts by age and LRU byte budget.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_root()
+        self._index_path = self.root / "index.json"
+        self._index: dict | None = None
+        self._metrics = _METRICS.scoped("store")
+
+    # -- paths -----------------------------------------------------------
+
+    def _object_path(self, key: str) -> Path:
+        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+            raise ConfigError(f"store key must be a hex digest: {key!r}")
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    def checkpoint_path(self, key: str) -> Path:
+        """Where the checkpoint manifest for campaign ``key`` lives."""
+        return self.root / "checkpoints" / f"{key}.json"
+
+    # -- index -----------------------------------------------------------
+
+    def _load_index(self) -> dict:
+        if self._index is not None:
+            return self._index
+        try:
+            with open(self._index_path) as f:
+                import json
+                index = json.load(f)
+            if index.get("version") != _INDEX_VERSION:
+                raise ValueError("index version mismatch")
+        except (OSError, ValueError):
+            index = self._rebuild_index()
+        self._index = index
+        return index
+
+    def _rebuild_index(self) -> dict:
+        """Reconstruct accounting from the objects directory."""
+        entries: dict[str, dict] = {}
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for path in sorted(objects.glob("*/*.pkl")):
+                stat = path.stat()
+                entries[path.stem] = {
+                    "size": stat.st_size,
+                    "kind": "unknown",
+                    "label": "",
+                    "created": stat.st_mtime,
+                    "last_access": stat.st_mtime,
+                    "hits": 0,
+                }
+        return {"version": _INDEX_VERSION, "entries": entries,
+                "hits": 0, "misses": 0}
+
+    def _save_index(self) -> None:
+        if self._index is not None:
+            atomic_write_json(self._index_path, self._index, indent=None)
+
+    # -- core operations -------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return self._object_path(key).exists()
+
+    def get(self, key: str, default=None):
+        """Fetch the payload for ``key``; ``default`` on miss.
+
+        A hit bumps the entry's hit count and last-access time; an
+        unreadable object (truncated by a crash predating atomic
+        writes, or hand-edited) counts as a miss and is deleted.
+        """
+        path = self._object_path(key)
+        index = self._load_index()
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+        except FileNotFoundError:
+            index["misses"] += 1
+            self._metrics.counter("misses").inc()
+            self._save_index()
+            return default
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # Unreadable object: drop it so the task re-runs.
+            path.unlink(missing_ok=True)
+            index["entries"].pop(key, None)
+            index["misses"] += 1
+            self._metrics.counter("misses").inc()
+            self._save_index()
+            return default
+        entry = index["entries"].setdefault(key, {
+            "size": path.stat().st_size, "kind": "unknown", "label": "",
+            "created": time.time(), "last_access": 0.0, "hits": 0})
+        entry["hits"] += 1
+        entry["last_access"] = time.time()
+        index["hits"] += 1
+        self._metrics.counter("hits").inc()
+        self._save_index()
+        return payload
+
+    def put(self, key: str, payload, kind: str = "generic",
+            label: str = "") -> Path:
+        """Store ``payload`` under ``key`` (idempotent; atomic)."""
+        path = self._object_path(key)
+        data = pickle.dumps(payload, protocol=PICKLE_PROTOCOL)
+        atomic_write_bytes(path, data)
+        index = self._load_index()
+        now = time.time()
+        prior = index["entries"].get(key)
+        index["entries"][key] = {
+            "size": len(data),
+            "kind": kind,
+            "label": label,
+            "created": prior["created"] if prior else now,
+            "last_access": now,
+            "hits": prior["hits"] if prior else 0,
+        }
+        self._metrics.counter("puts").inc()
+        self._metrics.counter("bytes_written").inc(len(data))
+        self._save_index()
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Remove one entry; True if it existed."""
+        path = self._object_path(key)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        index = self._load_index()
+        index["entries"].pop(key, None)
+        self._save_index()
+        return existed
+
+    # -- accounting ------------------------------------------------------
+
+    def entries(self) -> dict[str, dict]:
+        """The index's entry table (key -> metadata dict), a copy."""
+        return {k: dict(v)
+                for k, v in self._load_index()["entries"].items()}
+
+    def stat(self) -> dict:
+        """Aggregate accounting: entry/byte totals, hit/miss counters,
+        per-kind breakdown."""
+        index = self._load_index()
+        by_kind: dict[str, dict] = {}
+        total_bytes = 0
+        for entry in index["entries"].values():
+            total_bytes += entry["size"]
+            bucket = by_kind.setdefault(
+                entry["kind"], {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry["size"]
+        return {
+            "root": str(self.root),
+            "entries": len(index["entries"]),
+            "bytes": total_bytes,
+            "hits": index["hits"],
+            "misses": index["misses"],
+            "by_kind": by_kind,
+        }
+
+    def prune(self, max_age_s: float | None = None,
+              max_bytes: int | None = None) -> tuple[int, int]:
+        """Evict entries by age, then LRU down to a byte budget.
+
+        Args:
+            max_age_s: drop entries whose last access is older.
+            max_bytes: after age eviction, drop least-recently-used
+                entries until the store fits the budget.
+
+        Returns:
+            ``(entries_evicted, bytes_freed)``.
+        """
+        if max_age_s is not None and max_age_s < 0:
+            raise ConfigError(f"max_age_s must be >= 0: {max_age_s}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigError(f"max_bytes must be >= 0: {max_bytes}")
+        index = self._load_index()
+        now = time.time()
+        evicted, freed = 0, 0
+
+        def drop(key: str) -> None:
+            nonlocal evicted, freed
+            entry = index["entries"].pop(key)
+            self._object_path(key).unlink(missing_ok=True)
+            evicted += 1
+            freed += entry["size"]
+
+        if max_age_s is not None:
+            for key in [k for k, e in index["entries"].items()
+                        if now - e["last_access"] > max_age_s]:
+                drop(key)
+        if max_bytes is not None:
+            total = sum(e["size"] for e in index["entries"].values())
+            by_lru = sorted(index["entries"],
+                            key=lambda k: index["entries"][k]["last_access"])
+            for key in by_lru:
+                if total <= max_bytes:
+                    break
+                total -= index["entries"][key]["size"]
+                drop(key)
+        self._metrics.counter("evictions").inc(evicted)
+        self._save_index()
+        return evicted, freed

@@ -1,0 +1,237 @@
+"""Resumable, fault-tolerant task scheduling over the artifact store.
+
+The scheduler sits between a task list (campaign paths, sweep points)
+and the process pool:
+
+1. **Consult the store.**  Each task carries a config fingerprint; a
+   task whose result is already stored is never dispatched (a cache
+   hit).
+2. **Dispatch the rest fault-tolerantly.**  Misses run under a
+   :class:`repro.runtime.FaultPolicy` -- per-task retry with backoff
+   and timeout -- so one bad task quarantines instead of killing the
+   run.
+3. **Checkpoint each completion.**  The moment a task finishes, its
+   result is written to the store and the checkpoint manifest is
+   flushed (both atomically).  A crash or Ctrl-C loses at most the
+   in-flight tasks.
+4. **Resume.**  Re-running the same config resumes from the manifest:
+   completed tasks are cache hits, quarantined tasks are skipped (with
+   ``resume=True``) or retried afresh (``resume=False``), and only the
+   unfinished remainder executes.
+
+Results are deterministic: cached and computed paths return identical
+values, so a resumed run's output is byte-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ConfigError
+from ..obs.metrics import REGISTRY as _METRICS
+from ..runtime import FaultPolicy, ParallelExecutor, TaskOutcome
+from .artifacts import ArtifactStore
+from .atomic import atomic_write_json
+
+_MANIFEST_VERSION = 1
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of one scheduled run.
+
+    Attributes:
+        results: task results in submission order; ``None`` where the
+            task failed (see ``failed``).
+        failed: quarantined tasks (retries exhausted, or skipped as
+            known-failed on resume).
+        hits: tasks served from the store.
+        computed: tasks executed this run.
+        resumed: tasks skipped because the resumed manifest had
+            already quarantined them.
+    """
+
+    results: list = field(default_factory=list)
+    failed: list[TaskOutcome] = field(default_factory=list)
+    hits: int = 0
+    computed: int = 0
+    resumed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+class ResumableScheduler:
+    """Checkpointing task scheduler over an :class:`ArtifactStore`.
+
+    Args:
+        store: the artifact store holding per-task results.
+        run_key: fingerprint of the *whole* run's config; names the
+            checkpoint manifest.
+        resume: when True, a prior manifest for ``run_key`` is loaded
+            and its quarantined tasks are skipped instead of retried.
+        kind: store entry kind for results written by this scheduler.
+    """
+
+    def __init__(self, store: ArtifactStore, run_key: str,
+                 resume: bool = False, kind: str = "task"):
+        self.store = store
+        self.run_key = run_key
+        self.kind = kind
+        self.manifest_path = store.checkpoint_path(run_key)
+        self._manifest = self._fresh_manifest()
+        if resume:
+            self._load_manifest()
+
+    # -- manifest --------------------------------------------------------
+
+    def _fresh_manifest(self) -> dict:
+        return {"version": _MANIFEST_VERSION, "run_key": self.run_key,
+                "status": "running", "total": 0,
+                "done": {}, "failed": {}, "updated": 0.0}
+
+    def _load_manifest(self) -> None:
+        try:
+            import json
+            with open(self.manifest_path) as f:
+                manifest = json.load(f)
+            if (manifest.get("version") != _MANIFEST_VERSION
+                    or manifest.get("run_key") != self.run_key):
+                return  # stale or foreign manifest: start fresh
+        except (OSError, ValueError):
+            return
+        manifest["status"] = "running"
+        self._manifest = manifest
+
+    def _flush_manifest(self) -> None:
+        self._manifest["updated"] = time.time()
+        atomic_write_json(self.manifest_path, self._manifest, indent=None)
+
+    @property
+    def manifest(self) -> dict:
+        """The live checkpoint manifest (read-only use)."""
+        return self._manifest
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, fn: Callable, items: Iterable, keys: Sequence[str],
+            labels: Sequence[str] | None = None,
+            workers: int | None = None, chunk_size: int | None = None,
+            policy: FaultPolicy | None = None,
+            progress=None) -> SchedulerReport:
+        """Run ``fn`` over ``items``, consulting and filling the store.
+
+        Args:
+            fn: pure task function of one item.
+            items: the tasks.
+            keys: one config fingerprint per item (also the pool task
+                label, so fault injection is deterministic per config).
+            labels: optional human-readable names recorded in the
+                manifest (default: the keys).
+            workers / chunk_size: pool parameters; checkpoint
+                granularity is one chunk, so the default chunk size
+                for scheduled runs is 1.
+            policy: fault policy for computed tasks.
+            progress: optional ``fn(done, total)`` callback counting
+                hits and completions.
+        """
+        items = list(items)
+        keys = [str(k) for k in keys]
+        if len(keys) != len(items):
+            raise ConfigError(
+                f"keys/items length mismatch: {len(keys)} != {len(items)}")
+        if len(set(keys)) != len(keys):
+            raise ConfigError("task keys must be unique within a run")
+        labels = ([str(lab) for lab in labels]
+                  if labels is not None else list(keys))
+        report = SchedulerReport(results=[None] * len(items))
+        manifest = self._manifest
+        manifest["total"] = len(items)
+        total = len(items)
+        done_count = 0
+
+        def tick():
+            if progress is not None:
+                progress(done_count, total)
+
+        pending: list[tuple[int, str, object]] = []
+        for i, (item, key) in enumerate(zip(items, keys)):
+            if key in manifest["failed"]:
+                # Quarantined by the manifest we resumed from.
+                entry = manifest["failed"][key]
+                report.failed.append(TaskOutcome(
+                    index=i, label=labels[i], ok=False,
+                    attempts=int(entry.get("attempts", 0)),
+                    error=entry.get("error", "quarantined by manifest"),
+                    error_type=entry.get("error_type", "Quarantined")))
+                report.resumed += 1
+                done_count += 1
+                tick()
+                continue
+            sentinel = object()
+            cached = self.store.get(key, sentinel)
+            if cached is not sentinel:
+                report.results[i] = cached
+                report.hits += 1
+                manifest["done"][key] = True
+                done_count += 1
+                tick()
+            else:
+                pending.append((i, key, item))
+        self._flush_manifest()
+
+        if pending:
+            pending_indices = [i for i, _, _ in pending]
+            pending_keys = [k for _, k, _ in pending]
+            pending_items = [it for _, _, it in pending]
+            executor = ParallelExecutor(
+                workers=workers,
+                chunk_size=chunk_size if chunk_size is not None else 1)
+            try:
+                with executor:
+                    for outcome in executor.imap_tasks(
+                            fn, pending_items, policy=policy,
+                            labels=pending_keys):
+                        i = pending_indices[outcome.index]
+                        key = pending_keys[outcome.index]
+                        if outcome.ok:
+                            self.store.put(key, outcome.value,
+                                           kind=self.kind,
+                                           label=labels[i])
+                            report.results[i] = outcome.value
+                            report.computed += 1
+                            manifest["done"][key] = True
+                        else:
+                            report.failed.append(TaskOutcome(
+                                index=i, label=labels[i], ok=False,
+                                attempts=outcome.attempts,
+                                error=outcome.error,
+                                error_type=outcome.error_type))
+                            _METRICS.counter("store.quarantined").inc()
+                            manifest["failed"][key] = {
+                                "label": labels[i],
+                                "error": outcome.error,
+                                "error_type": outcome.error_type,
+                                "attempts": outcome.attempts,
+                            }
+                        done_count += 1
+                        tick()
+                        self._flush_manifest()
+            finally:
+                interrupted = done_count < total
+                manifest["status"] = ("interrupted" if interrupted
+                                      else "complete"
+                                      if not manifest["failed"]
+                                      else "complete_with_failures")
+                self._flush_manifest()
+        else:
+            manifest["status"] = ("complete" if not manifest["failed"]
+                                  else "complete_with_failures")
+            self._flush_manifest()
+
+        report.failed.sort(key=lambda o: o.index)
+        return report

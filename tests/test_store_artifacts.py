@@ -1,0 +1,174 @@
+"""Tests for the content-addressed artifact store and atomic writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.store import (ArtifactStore, atomic_open, atomic_write_text,
+                         default_root, fingerprint)
+
+
+def key_of(value) -> str:
+    return fingerprint(value, kind="test")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestAtomicWrites:
+    def test_write_text(self, tmp_path):
+        path = tmp_path / "deep" / "a.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "a.txt"
+        atomic_write_text(path, "original")
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as f:
+                f.write("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "original"
+
+    def test_failure_leaves_no_tmp_files(self, tmp_path):
+        path = tmp_path / "a.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as f:
+                f.write("x")
+                raise RuntimeError
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDefaultRoot:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "elsewhere"))
+        assert default_root() == tmp_path / "elsewhere"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert default_root().name == "repro"
+
+
+class TestStoreRoundTrip:
+    def test_get_put_contains(self, store):
+        key = key_of("a")
+        assert key not in store
+        assert store.get(key) is None
+        store.put(key, {"x": [1, 2]}, kind="test", label="a")
+        assert key in store
+        assert store.get(key) == {"x": [1, 2]}
+
+    def test_put_idempotent(self, store):
+        key = key_of("b")
+        store.put(key, 1)
+        store.put(key, 1)
+        assert store.stat()["entries"] == 1
+
+    def test_delete(self, store):
+        key = key_of("c")
+        store.put(key, 3)
+        assert store.delete(key)
+        assert not store.delete(key)
+        assert store.get(key) is None
+
+    def test_bad_key_rejected(self, store):
+        with pytest.raises(ConfigError):
+            store.get("not-a-digest")
+
+    def test_hit_miss_accounting(self, store):
+        key = key_of("d")
+        store.get(key)                      # miss
+        store.put(key, "payload")
+        store.get(key)                      # hit
+        store.get(key)                      # hit
+        stat = store.stat()
+        assert stat["hits"] == 2
+        assert stat["misses"] == 1
+        assert store.entries()[key]["hits"] == 2
+
+    def test_stat_by_kind(self, store):
+        store.put(key_of("e"), 1, kind="path")
+        store.put(key_of("f"), 2, kind="path")
+        store.put(key_of("g"), 3, kind="sweep")
+        by_kind = store.stat()["by_kind"]
+        assert by_kind["path"]["entries"] == 2
+        assert by_kind["sweep"]["entries"] == 1
+
+
+class TestCorruptionRecovery:
+    def test_truncated_object_counts_as_miss_and_is_dropped(self, store):
+        key = key_of("h")
+        path = store.put(key, {"big": list(range(100))})
+        path.write_bytes(path.read_bytes()[:10])  # simulate torn write
+        assert store.get(key) is None
+        assert key not in store
+
+    def test_index_rebuilt_after_deletion(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key = key_of("i")
+        store.put(key, "v", kind="path")
+        (tmp_path / "s" / "index.json").unlink()
+        fresh = ArtifactStore(tmp_path / "s")
+        assert fresh.get(key) == "v"
+        assert fresh.stat()["entries"] == 1
+
+    def test_corrupt_index_rebuilt(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key = key_of("j")
+        store.put(key, "v")
+        (tmp_path / "s" / "index.json").write_text("{not json")
+        fresh = ArtifactStore(tmp_path / "s")
+        assert fresh.get(key) == "v"
+
+
+class TestPrune:
+    def test_prune_by_age(self, store):
+        old, new = key_of("old"), key_of("new")
+        store.put(old, "x")
+        store.put(new, "y")
+        index = store._load_index()
+        index["entries"][old]["last_access"] -= 7 * 86400
+        evicted, freed = store.prune(max_age_s=86400.0)
+        assert evicted == 1
+        assert freed > 0
+        assert old not in store
+        assert new in store
+
+    def test_prune_lru_to_byte_budget(self, store):
+        keys = [key_of(f"k{i}") for i in range(4)]
+        for i, key in enumerate(keys):
+            store.put(key, "v" * 100)
+            store._load_index()["entries"][key]["last_access"] = 1000.0 + i
+        size = store.entries()[keys[0]]["size"]
+        evicted, _ = store.prune(max_bytes=2 * size)
+        assert evicted == 2
+        assert keys[0] not in store and keys[1] not in store  # oldest
+        assert keys[2] in store and keys[3] in store
+
+    def test_prune_nothing_when_within_budget(self, store):
+        store.put(key_of("l"), "v")
+        assert store.prune(max_bytes=10**9) == (0, 0)
+
+    def test_bad_arguments_rejected(self, store):
+        with pytest.raises(ConfigError):
+            store.prune(max_age_s=-1)
+        with pytest.raises(ConfigError):
+            store.prune(max_bytes=-1)
+
+
+class TestOnDiskLayout:
+    def test_objects_sharded_by_prefix(self, store):
+        key = key_of("m")
+        path = store.put(key, 1)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.pkl"
+
+    def test_index_is_json(self, store):
+        store.put(key_of("n"), 1)
+        index = json.loads((store.root / "index.json").read_text())
+        assert index["version"] == 1
+        assert len(index["entries"]) == 1
