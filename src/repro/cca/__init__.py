@@ -26,6 +26,8 @@ __all__ = [
 ]
 
 #: Factories for building CCAs by name (CLI and experiment configs).
+#: ``cbr`` requires an explicit ``rate=`` kwarg (it has no sensible
+#: default); every other entry builds with defaults.
 CCA_REGISTRY = {
     "reno": RenoCca,
     "newreno": NewRenoCca,
@@ -33,6 +35,7 @@ CCA_REGISTRY = {
     "vegas": VegasCca,
     "copa": CopaCca,
     "bbr": BbrCca,
+    "cbr": CbrCca,
     "dctcp": DctcpCca,
     "ledbat": LedbatCca,
 }

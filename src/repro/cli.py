@@ -15,6 +15,9 @@ Subcommands:
 * ``repro bench`` -- quick built-in performance smoke (engine, PELT,
   pipeline, campaign serial vs parallel).
 * ``repro store stat|ls|gc`` -- inspect and prune the result store.
+* ``repro qa fuzz|shrink|corpus`` -- deterministic scenario fuzzing
+  against the oracle suite, failure minimization, and the committed
+  regression corpus (see TESTING.md).
 
 Parallelism: experiments with independent inner work (the campaign,
 the Figure 2 pipeline) accept ``--workers N``; without the flag the
@@ -327,6 +330,113 @@ def cmd_store(args) -> int:
     return 2  # pragma: no cover
 
 
+def cmd_qa_fuzz(args) -> int:
+    """``repro qa fuzz``: run a budgeted scenario-fuzzing campaign.
+
+    Stdout carries only the deterministic verdict report (identical
+    across reruns of the same seed/budget, cache hits included);
+    timing and cache statistics go to stderr.  Failures are shrunk to
+    minimal repros and written into ``--corpus-out`` for triage.
+    """
+    import time as _time
+
+    from .qa.corpus import case_for, save_case
+    from .qa.fuzz import run_fuzz
+    from .qa.oracles import ORACLES
+    from .qa.scenario import run_scenario
+    from .qa.shrink import shrink
+
+    t0 = _time.time()
+    report = run_fuzz(args.budget, seed=args.seed,
+                      store=_cli_store(args),
+                      pool_check=not args.no_pool_check)
+    print(report.render())
+    print(f"[{_time.time() - t0:.1f}s, {report.cache_hits} cached "
+          f"verdicts]", file=sys.stderr)
+    failures = report.failures
+    if not failures:
+        return 0
+    if not args.no_shrink:
+        by_name = {o.name: o for o in ORACLES}
+        created = _time.strftime("%Y-%m-%d")
+        for verdict in failures[:args.max_shrink]:
+            oracle = by_name.get(verdict.findings[0].oracle)
+            if oracle is None:  # synthetic finding (pool-equivalence)
+                print(f"not shrinkable: {verdict.findings[0]}",
+                      file=sys.stderr)
+                continue
+            from .qa.fuzz import sample_scenario
+            scenario = sample_scenario(verdict.index, args.seed)
+            print(f"shrinking [{verdict.index}] {verdict.label} "
+                  f"({oracle.name})...", file=sys.stderr)
+            result = shrink(scenario, oracle, run_scenario)
+            case = case_for(
+                result.scenario, oracle.name,
+                origin=(f"fuzz seed={args.seed} index={verdict.index} "
+                        f"(shrunk, {result.runs} runs)"),
+                created=created)
+            path = save_case(case, args.corpus_out)
+            print(f"  -> {path} ({len(result.steps)} shrink steps: "
+                  f"{'; '.join(result.steps) or 'already minimal'})",
+                  file=sys.stderr)
+    return 1
+
+
+def cmd_qa_shrink(args) -> int:
+    """``repro qa shrink CASE.json``: re-minimize a corpus case."""
+    import time as _time
+
+    from .qa.corpus import case_for, load_case, save_case
+    from .qa.oracles import ORACLES
+    from .qa.scenario import run_scenario
+    from .qa.shrink import shrink
+
+    case = load_case(args.case)
+    oracle_name = args.oracle or case.oracle
+    by_name = {o.name: o for o in ORACLES}
+    if oracle_name not in by_name:
+        print(f"unknown oracle {oracle_name!r}; known: "
+              f"{', '.join(sorted(by_name))}", file=sys.stderr)
+        return 2
+    result = shrink(case.scenario, by_name[oracle_name], run_scenario)
+    print(f"{result.runs} runs, {len(result.steps)} steps")
+    for step in result.steps:
+        print(f"  - {step}")
+    print(result.scenario.label())
+    out = args.out or args.case.rsplit("/", 1)[0] or "."
+    new_case = case_for(result.scenario, oracle_name,
+                        origin=f"re-shrunk from {case.name}",
+                        created=_time.strftime("%Y-%m-%d"))
+    path = save_case(new_case, out)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_qa_corpus(args) -> int:
+    """``repro qa corpus``: list (and optionally replay) the corpus."""
+    from .qa.corpus import load_corpus, replay_case
+
+    cases = load_corpus(args.dir)
+    if not cases:
+        print(f"no corpus cases under {args.dir}")
+        return 0
+    failed = 0
+    for case in cases:
+        line = f"{case.name}  oracle={case.oracle}  {case.scenario.label()}"
+        if args.replay:
+            _, findings = replay_case(case)
+            status = "FAIL" if findings else "pass"
+            print(f"[{status}] {line}")
+            for finding in findings:
+                print(f"    ! {finding}")
+            failed += bool(findings)
+        else:
+            print(line)
+    if args.replay:
+        print(f"{len(cases) - failed}/{len(cases)} corpus cases pass")
+    return 1 if failed else 0
+
+
 def cmd_synth_ndt(args) -> int:
     """``repro synth-ndt``: write a synthetic NDT dataset as JSONL."""
     from .ndt.synth import SyntheticNdtGenerator
@@ -439,6 +549,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_quick.add_argument("--duration", type=float, default=30.0)
     p_quick.add_argument("--seed", type=int)
     p_quick.set_defaults(fn=cmd_quicklook)
+
+    p_qa = sub.add_parser(
+        "qa", help="simulator QA: fuzz, shrink, regression corpus")
+    qa_sub = p_qa.add_subparsers(dest="qa_command", required=True)
+    p_fuzz = qa_sub.add_parser(
+        "fuzz", help="run a budgeted scenario-fuzzing campaign")
+    p_fuzz.add_argument("--budget", type=int, default=200,
+                        help="number of scenarios to sample and judge")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (the scenario stream is a "
+                             "pure function of it)")
+    p_fuzz.add_argument("--no-cache", action="store_true",
+                        help="skip the verdict cache")
+    p_fuzz.add_argument("--corpus-out", default="qa-failures",
+                        help="directory for shrunk failing scenarios")
+    p_fuzz.add_argument("--max-shrink", type=int, default=5,
+                        help="max failures to shrink after the campaign")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report failures without shrinking them")
+    p_fuzz.add_argument("--no-pool-check", action="store_true",
+                        help="skip the worker-equivalence stage")
+    p_fuzz.set_defaults(fn=cmd_qa_fuzz)
+    p_shrink = qa_sub.add_parser(
+        "shrink", help="re-minimize a saved corpus case")
+    p_shrink.add_argument("case", help="path to a corpus JSON file")
+    p_shrink.add_argument("--out", help="output directory (default: "
+                                        "alongside the input case)")
+    p_shrink.add_argument("--oracle",
+                          help="oracle to preserve (default: the case's)")
+    p_shrink.set_defaults(fn=cmd_qa_shrink)
+    p_corpus = qa_sub.add_parser(
+        "corpus", help="list or replay the regression corpus")
+    p_corpus.add_argument("--dir", default="tests/corpus",
+                          help="corpus directory")
+    p_corpus.add_argument("--replay", action="store_true",
+                          help="re-run every case through the oracles")
+    p_corpus.set_defaults(fn=cmd_qa_corpus)
 
     p_synth = sub.add_parser("synth-ndt",
                              help="generate a synthetic NDT dataset")

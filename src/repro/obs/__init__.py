@@ -27,8 +27,9 @@ from .bus import (BUS, EventKind, JsonlTraceWriter, TraceBus, TraceEvent,
                   capture)
 from .invariants import (ByteConservationChecker, CwndBoundsChecker,
                          MonotonicClockChecker, QueueNonNegativeChecker,
-                         Violation, all_checkers, check_trace,
-                         maybe_install_from_env, runtime_checks_requested)
+                         Violation, all_checkers, assert_no_violations,
+                         check_trace, maybe_install_from_env,
+                         runtime_checks_requested)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, REGISTRY,
                       default_buckets, registry)
 
@@ -37,7 +38,7 @@ __all__ = [
     "JsonlTraceWriter",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
     "registry", "default_buckets",
-    "Violation", "check_trace", "all_checkers",
+    "Violation", "check_trace", "all_checkers", "assert_no_violations",
     "MonotonicClockChecker", "QueueNonNegativeChecker",
     "ByteConservationChecker", "CwndBoundsChecker",
     "maybe_install_from_env", "runtime_checks_requested",

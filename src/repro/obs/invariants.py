@@ -285,6 +285,21 @@ def check_trace(events: Sequence[TraceEvent], qdiscs: Iterable = (),
     return [v for checker in checkers for v in checker.violations]
 
 
+def assert_no_violations(events: Sequence[TraceEvent],
+                         qdiscs: Iterable = ()) -> None:
+    """Assert a trace is invariant-clean, reporting every violation.
+
+    Raises :class:`~repro.errors.InvariantViolation` with *all*
+    violations in the message (not just the first), which is what a
+    failing property test should show.
+    """
+    violations = check_trace(events, qdiscs=qdiscs)
+    if violations:
+        details = "\n".join(str(v) for v in violations)
+        raise InvariantViolation(
+            f"{len(violations)} invariant violation(s):\n{details}")
+
+
 # -- runtime assertion mode (REPRO_CHECK_INVARIANTS=1) -------------------
 
 _runtime_checkers: Optional[list[InvariantChecker]] = None

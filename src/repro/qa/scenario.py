@@ -1,0 +1,351 @@
+"""Scenario model and runner for the QA fuzzer.
+
+A :class:`Scenario` is a fully serializable description of one
+simulation: link parameters, one of the eight qdiscs, a set of flows
+drawn from all nine CCAs, and a cross-traffic mix from the traffic
+registry.  Scenarios round-trip through plain dicts (JSON), which is
+what makes the regression corpus under ``tests/corpus/`` possible.
+
+:func:`run_scenario` executes a scenario under full trace capture,
+runs the four :mod:`repro.obs.invariants` checkers over the trace
+(including the final-occupancy cross-check against the live qdisc),
+and returns a :class:`ScenarioOutcome` whose :meth:`fingerprint` is a
+deterministic digest of everything observable -- the unit of
+comparison for the metamorphic oracles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..cca import make_cca
+from ..cca.cbr import CbrCca
+from ..core.detector import ContentionDetector
+from ..core.probe import ElasticityProbe
+from ..errors import ConfigError
+from ..obs.bus import capture
+from ..obs.invariants import check_trace
+from ..qdisc import (CoDelQueue, DropTailQueue, DrrFairQueue, HtbClass,
+                     HtbQueue, Policer, RedQueue, StochasticFairQueue,
+                     TokenBucketFilter)
+from ..sim.engine import Simulator
+from ..sim.network import default_buffer_packets, dumbbell
+from ..store.fingerprint import fingerprint
+from ..traffic.backlogged import BackloggedFlow
+from ..traffic.mix import CROSS_TRAFFIC_REGISTRY, make_cross_traffic
+from ..units import mbps, ms
+
+#: Every qdisc in :mod:`repro.qdisc`, by scenario name.
+QDISC_NAMES = ("droptail", "red", "codel", "fq", "sfq", "tbf",
+               "policer", "htb")
+
+#: Every CCA in :mod:`repro.cca` a fuzzed flow can run (Nimbus is the
+#: probe's CCA and is exercised by the probe scenario family).
+FLOW_CCAS = ("reno", "newreno", "cubic", "vegas", "copa", "bbr",
+             "dctcp", "ledbat", "cbr")
+
+#: Scenario families: "flows" pits CCA mixes against each other behind
+#: one qdisc; "probe" attaches the paper's elasticity probe to a path
+#: with one cross-traffic type (the §3.2 measurement setup).
+FAMILIES = ("flows", "probe")
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One fuzzed flow.
+
+    Attributes:
+        cca: a name from :data:`FLOW_CCAS`.
+        rate_frac: for ``cbr``, the constant rate as a fraction of the
+            link rate (ignored for window-based CCAs).
+        user_id: subscriber identifier (HTB classes key on this).
+        start: seconds after t=0 when the flow begins sending.
+        ecn: negotiate ECN (DCTCP wants this; harmless elsewhere).
+    """
+
+    cca: str
+    rate_frac: float = 0.3
+    user_id: str = ""
+    start: float = 0.0
+    ecn: bool = False
+
+    def __post_init__(self):
+        if self.cca not in FLOW_CCAS:
+            raise ConfigError(f"unknown flow CCA {self.cca!r}; "
+                              f"known: {', '.join(FLOW_CCAS)}")
+        if not 0.0 < self.rate_frac <= 1.0:
+            raise ConfigError(f"rate_frac must be in (0, 1]: {self.rate_frac}")
+        if self.start < 0:
+            raise ConfigError(f"start must be >= 0: {self.start}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One random-but-valid simulation, fully serializable.
+
+    Attributes:
+        family: "flows" or "probe" (see :data:`FAMILIES`).
+        rate_mbps / rtt_ms / buffer_multiplier: link parameters.
+        qdisc: bottleneck discipline, one of :data:`QDISC_NAMES`.
+        flows: the fuzzed flows ("flows" family; empty for "probe").
+        cross_traffic: a name from the cross-traffic registry; the
+            probe's competitor in the "probe" family, extra background
+            load in the "flows" family.
+        duration: simulated seconds.
+        seed: the scenario's own seed (qdisc salts, traffic RNG).
+    """
+
+    family: str
+    rate_mbps: float
+    rtt_ms: float
+    qdisc: str
+    duration: float
+    seed: int
+    buffer_multiplier: float = 1.0
+    flows: tuple[FlowSpec, ...] = ()
+    cross_traffic: str = "none"
+
+    def __post_init__(self):
+        if self.family not in FAMILIES:
+            raise ConfigError(f"unknown family {self.family!r}")
+        if self.rate_mbps <= 0 or self.rtt_ms <= 0 or self.duration <= 0:
+            raise ConfigError(f"invalid link/duration in {self}")
+        if self.buffer_multiplier <= 0:
+            raise ConfigError(
+                f"buffer_multiplier must be positive: {self.buffer_multiplier}")
+        if self.qdisc not in QDISC_NAMES:
+            raise ConfigError(f"unknown qdisc {self.qdisc!r}; "
+                              f"known: {', '.join(QDISC_NAMES)}")
+        if self.cross_traffic not in CROSS_TRAFFIC_REGISTRY:
+            raise ConfigError(
+                f"unknown cross traffic {self.cross_traffic!r}")
+        if self.family == "flows" and not self.flows:
+            raise ConfigError("'flows' scenarios need at least one flow")
+        if self.family == "probe" and self.flows:
+            raise ConfigError("'probe' scenarios take cross_traffic, "
+                              "not explicit flows")
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready; round-trips via from_dict)."""
+        d = dataclasses.asdict(self)
+        d["flows"] = [dataclasses.asdict(f) for f in self.flows]
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["flows"] = tuple(FlowSpec(**f)
+                                 for f in payload.get("flows", ()))
+        return cls(**payload)
+
+    def label(self) -> str:
+        """Compact human-readable description (stable; used in logs)."""
+        if self.family == "flows":
+            what = ",".join(f.cca for f in self.flows)
+        else:
+            what = f"probe-vs-{self.cross_traffic}"
+        extra = (f" cross={self.cross_traffic}"
+                 if self.family == "flows" and self.cross_traffic != "none"
+                 else "")
+        return (f"{self.family}[{what}] qdisc={self.qdisc}{extra} "
+                f"{self.rate_mbps:g}mbps/{self.rtt_ms:g}ms "
+                f"buf={self.buffer_multiplier:g} dur={self.duration:g}s "
+                f"seed={self.seed}")
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Content fingerprint of a scenario (names corpus files)."""
+    return fingerprint(scenario.to_dict(), kind="qa-scenario")
+
+
+# -- qdisc construction ---------------------------------------------------
+
+def build_qdisc(scenario: Scenario):
+    """Build the scenario's bottleneck qdisc (all eight supported).
+
+    Shaper/policer rates are derived from the link rate (90% for
+    tbf/policer, a 45%/45% class split for htb) so rescaling the link
+    rescales the whole bottleneck -- the property the rate-monotonicity
+    oracle relies on.
+    """
+    rate = mbps(scenario.rate_mbps)
+    rtt = ms(scenario.rtt_ms)
+    buf = default_buffer_packets(rate, rtt, scenario.buffer_multiplier)
+    name = scenario.qdisc
+    if name == "droptail":
+        return DropTailQueue(limit_packets=buf)
+    if name == "red":
+        limit = max(buf, 8)
+        min_thresh = max(1, limit // 4)
+        max_thresh = max(min_thresh + 1, (3 * limit) // 4)
+        return RedQueue(min_thresh=min_thresh, max_thresh=max_thresh,
+                        limit_packets=limit, seed=scenario.seed)
+    if name == "codel":
+        return CoDelQueue(limit_packets=buf)
+    if name == "fq":
+        return DrrFairQueue(limit_packets=buf)
+    if name == "sfq":
+        return StochasticFairQueue(limit_packets=buf, buckets=32,
+                                   salt=scenario.seed & 0xFFFF)
+    if name == "tbf":
+        return TokenBucketFilter(rate=0.9 * rate, burst=30_000,
+                                 child=DropTailQueue(limit_packets=buf))
+    if name == "policer":
+        return Policer(rate=0.9 * rate, burst=30_000,
+                       child=DropTailQueue(limit_packets=buf))
+    if name == "htb":
+        classes = [HtbClass("a", rate=0.45 * rate, ceil=rate),
+                   HtbClass("b", rate=0.45 * rate, ceil=rate)]
+        return HtbQueue(classes, default_class="a", limit_packets=buf)
+    raise ConfigError(f"unknown qdisc {name!r}")  # pragma: no cover
+
+
+def _make_flow(sim: Simulator, path, index: int, spec: FlowSpec,
+               rate_bps: float) -> BackloggedFlow:
+    if spec.cca == "cbr":
+        cca = CbrCca(rate=max(10_000.0, spec.rate_frac * rate_bps))
+    else:
+        cca = make_cca(spec.cca)
+    flow = BackloggedFlow(sim, path, f"flow-{index}", cca,
+                          user_id=spec.user_id, ecn=spec.ecn)
+    if spec.start > 0:
+        sim.schedule(spec.start, flow.start)
+    else:
+        flow.start()
+    return flow
+
+
+# -- outcome --------------------------------------------------------------
+
+@dataclass
+class ScenarioOutcome:
+    """Everything observable from one scenario run.
+
+    Attributes:
+        scenario: the executed scenario.
+        delivered: goodput bytes per flow id (includes "cross"/"probe").
+        qdisc_stats: the bottleneck qdisc's counters and residuals.
+        events_processed: callbacks the engine executed.
+        clock: final simulation time.
+        violations: invariant violations found in the trace (strings;
+            empty on a healthy run).
+        probe: probe-family summary (mean elasticity, verdict fields),
+            None for "flows" scenarios.
+    """
+
+    scenario: Scenario
+    delivered: dict[str, int]
+    qdisc_stats: dict[str, float]
+    events_processed: int
+    clock: float
+    violations: list[str] = field(default_factory=list)
+    probe: dict | None = None
+
+    @property
+    def total_delivered(self) -> int:
+        """Total goodput bytes across all flows."""
+        return sum(self.delivered.values())
+
+    def summary(self) -> dict:
+        """Canonical, fingerprintable digest of the outcome."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "delivered": dict(sorted(self.delivered.items())),
+            "qdisc": dict(sorted(self.qdisc_stats.items())),
+            "events": self.events_processed,
+            "clock": self.clock,
+            "violations": list(self.violations),
+            "probe": self.probe,
+        }
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of :meth:`summary` (the metamorphic
+        comparison unit: equal fingerprints == identical results)."""
+        return fingerprint(self.summary(), kind="qa-outcome")
+
+
+def run_scenario(scenario: Scenario,
+                 check_invariants: bool = True) -> ScenarioOutcome:
+    """Execute one scenario and audit its trace.
+
+    The full event trace is captured and fed through
+    :func:`repro.obs.invariants.check_trace`, including the final
+    occupancy cross-check against the live qdisc, so every fuzzed run
+    doubles as an invariant audit.  ``check_invariants=False`` skips
+    capture for metamorphic re-runs where only the outcome fingerprint
+    matters (the fingerprint does not cover the raw trace).
+    """
+    sim = Simulator()
+    rate = mbps(scenario.rate_mbps)
+    rtt = ms(scenario.rtt_ms)
+    qdisc = build_qdisc(scenario)
+
+    def build_and_run():
+        # Starting a backlogged flow pumps its initial window into the
+        # qdisc synchronously, so trace capture must already be active
+        # here -- not just around sim.run() -- or the invariant checker
+        # sees dequeues without their enqueues.
+        path = dumbbell(sim, rate, rtt, qdisc=qdisc)
+        sources: dict[str, object] = {}
+        probe = None
+        if scenario.family == "probe":
+            probe = ElasticityProbe(sim, path, capacity_hint=rate)
+            probe.start()
+        else:
+            for i, spec in enumerate(scenario.flows):
+                sources[f"flow-{i}"] = _make_flow(sim, path, i, spec,
+                                                  rate)
+        if scenario.family == "probe" or scenario.cross_traffic != "none":
+            cross = make_cross_traffic(scenario.cross_traffic, sim, path,
+                                       "cross", seed=scenario.seed)
+            cross.start()
+            sources["cross"] = cross
+        sim.run(until=scenario.duration)
+        return sources, probe
+
+    violations: list[str] = []
+    if check_invariants:
+        with capture() as trace:
+            sources, probe = build_and_run()
+        qdiscs = [qdisc]
+        child = getattr(qdisc, "child", None)
+        if child is not None:
+            qdiscs.append(child)
+        violations = [str(v) for v in check_trace(trace.events,
+                                                  qdiscs=qdiscs)]
+    else:
+        sources, probe = build_and_run()
+
+    delivered = {fid: int(src.delivered_bytes)
+                 for fid, src in sources.items()}
+    probe_summary = None
+    if probe is not None:
+        delivered["probe"] = int(
+            probe.connection.receiver.received_bytes)
+        report = probe.report()
+        verdict = ContentionDetector().verdict(list(report.readings))
+        probe_summary = {
+            "mean_elasticity": verdict.mean_elasticity,
+            "contending": verdict.contending,
+            "category": verdict.category,
+            "n_readings": verdict.n_readings,
+        }
+    qdisc_stats = {
+        "enqueued": float(qdisc.enqueued),
+        "dequeued": float(qdisc.dequeued),
+        "dequeued_bytes": float(qdisc.dequeued_bytes),
+        "drops": float(qdisc.drops),
+        "dropped_bytes": float(qdisc.dropped_bytes),
+        "marks": float(qdisc.marks),
+        "residual_packets": float(len(qdisc)),
+        "residual_bytes": float(qdisc.byte_length),
+    }
+    return ScenarioOutcome(scenario=scenario, delivered=delivered,
+                           qdisc_stats=qdisc_stats,
+                           events_processed=sim.events_processed,
+                           clock=sim.now, violations=violations,
+                           probe=probe_summary)

@@ -88,10 +88,47 @@ class ArtifactStore:
                 index = json.load(f)
             if index.get("version") != _INDEX_VERSION:
                 raise ValueError("index version mismatch")
+            if not isinstance(index.get("entries"), dict):
+                raise ValueError("index entries table missing")
+            self._sanitize_entries(index)
         except (OSError, ValueError):
             index = self._rebuild_index()
         self._index = index
         return index
+
+    def _sanitize_entries(self, index: dict) -> None:
+        """Repair or drop torn index entries so accounting and gc
+        never abort on a corrupt ``index.json``.
+
+        A crash (or hand edit) can leave an entry that is not a dict,
+        lacks the accounting fields, or carries an invalid key.  Each
+        such entry is rebuilt from its object file's stat when the
+        object exists, and silently dropped when it does not -- the
+        same recovery :meth:`_rebuild_index` performs wholesale, but
+        scoped to the damaged entries.
+        """
+        entries = index["entries"]
+        for key in list(entries):
+            entry = entries[key]
+            if (isinstance(entry, dict)
+                    and isinstance(entry.get("size"), (int, float))
+                    and isinstance(entry.get("last_access"), (int, float))
+                    and isinstance(entry.get("created"), (int, float))):
+                continue
+            try:
+                stat = self._object_path(key).stat()
+            except (ConfigError, OSError):
+                # Invalid key or missing object: nothing to account.
+                del entries[key]
+                continue
+            entries[key] = {
+                "size": stat.st_size,
+                "kind": "unknown",
+                "label": "",
+                "created": stat.st_mtime,
+                "last_access": stat.st_mtime,
+                "hits": 0,
+            }
 
     def _rebuild_index(self) -> dict:
         """Reconstruct accounting from the objects directory."""
@@ -238,10 +275,14 @@ class ArtifactStore:
 
         def drop(key: str) -> None:
             nonlocal evicted, freed
-            entry = index["entries"].pop(key)
-            self._object_path(key).unlink(missing_ok=True)
+            entry = index["entries"].pop(key, None)
+            try:
+                self._object_path(key).unlink(missing_ok=True)
+            except ConfigError:
+                pass  # invalid key: the index entry is all there was
             evicted += 1
-            freed += entry["size"]
+            if isinstance(entry, dict):
+                freed += entry.get("size", 0)
 
         if max_age_s is not None:
             for key in [k for k, e in index["entries"].items()

@@ -23,16 +23,19 @@ class BackloggedFlow(TrafficSource):
         flow_id: flow identifier.
         cca: congestion control instance (owned by this flow).
         user_id: subscriber identifier for per-user queueing.
+        ecn: negotiate ECN on the connection (DCTCP needs this to see
+            congestion marks instead of losses).
     """
 
     def __init__(self, sim: Simulator, path: PathHandles, flow_id: str,
                  cca: CongestionControl, user_id: str = "",
-                 rwnd_bytes: int | None = None):
+                 rwnd_bytes: int | None = None, ecn: bool = False):
         self.sim = sim
         self.path = path
         self.flow_id = flow_id
         self.connection = Connection(sim, path, flow_id, cca,
-                                     user_id=user_id, rwnd_bytes=rwnd_bytes)
+                                     user_id=user_id, rwnd_bytes=rwnd_bytes,
+                                     ecn=ecn)
         self._stopped = False
 
     def start(self) -> None:

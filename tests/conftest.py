@@ -15,3 +15,4 @@ def _isolated_store_env(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_STORE", str(tmp_path / "repro-store"))
     monkeypatch.delenv("REPRO_CACHE", raising=False)
     monkeypatch.delenv("REPRO_FAULT_RATE", raising=False)
+    monkeypatch.delenv("REPRO_QA_FAULT", raising=False)

@@ -1,0 +1,92 @@
+"""Regression corpus: round-trip, replay, and the committed cases.
+
+``test_committed_corpus_replays_clean`` is the forever-regression
+gate: every case ever minimized into ``tests/corpus/`` re-runs through
+the corpus-replay oracle suite on every tier-1 run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa.corpus import (DEFAULT_CORPUS_DIR, CorpusCase, case_for,
+                             load_case, load_corpus, replay_case,
+                             save_case)
+from repro.qa.scenario import FlowSpec, Scenario
+
+REPO_CORPUS = Path(__file__).resolve().parent / "corpus"
+
+
+def _scenario() -> Scenario:
+    return Scenario(family="flows", rate_mbps=4.0, rtt_ms=20.0,
+                    qdisc="droptail", duration=2.0, seed=9,
+                    flows=(FlowSpec(cca="reno"),))
+
+
+def test_save_load_round_trip(tmp_path):
+    case = case_for(_scenario(), "invariants", origin="test",
+                    created="2026-08-06")
+    path = save_case(case, tmp_path)
+    assert path.name == case.filename
+    loaded = load_case(path)
+    assert loaded == case
+
+
+def test_save_is_deterministic(tmp_path):
+    case = case_for(_scenario(), "invariants", origin="test",
+                    created="2026-08-06")
+    first = save_case(case, tmp_path / "a").read_bytes()
+    second = save_case(case, tmp_path / "b").read_bytes()
+    assert first == second
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": 99, "scenario": {}}')
+    with pytest.raises(ValueError, match="schema"):
+        load_case(bad)
+
+
+def test_load_corpus_sorted_and_missing_dir(tmp_path):
+    assert load_corpus(tmp_path / "nope") == []
+    for seed in (3, 1, 2):
+        case = case_for(_scenario(), "invariants", origin="t",
+                        created="2026-08-06")
+        save_case(CorpusCase(name=f"case-{seed}", oracle=case.oracle,
+                             origin=case.origin, created=case.created,
+                             scenario=case.scenario), tmp_path)
+    names = [c.name for c in load_corpus(tmp_path)]
+    assert names == sorted(names)
+
+
+def test_replay_clean_case():
+    case = case_for(_scenario(), "invariants", origin="test",
+                    created="2026-08-06")
+    outcome, findings = replay_case(case)
+    assert outcome.total_delivered > 0
+    assert findings == []
+
+
+def test_committed_corpus_exists():
+    cases = load_corpus(REPO_CORPUS)
+    assert cases, (
+        f"no committed corpus cases under {REPO_CORPUS}; the fuzz -> "
+        f"shrink -> corpus pipeline should have seeded at least one")
+    for case in cases:
+        assert case.oracle
+        assert case.scenario.duration <= 10.0
+        assert len(case.scenario.flows) <= 2
+
+
+@pytest.mark.parametrize(
+    "case", load_corpus(REPO_CORPUS), ids=lambda c: c.name)
+def test_committed_corpus_replays_clean(case):
+    _, findings = replay_case(case)
+    assert findings == [], (
+        f"corpus case {case.name} (oracle={case.oracle}, "
+        f"origin={case.origin}) regressed: "
+        + "; ".join(str(f) for f in findings))
+
+
+def test_default_corpus_dir_is_tests_corpus():
+    assert DEFAULT_CORPUS_DIR.parts[-2:] == ("tests", "corpus")

@@ -1,0 +1,139 @@
+"""Fuzz driver: deterministic sampling, verdict caching, the CLI
+entry points, and (behind ``-m fuzz``) a full-budget campaign."""
+
+import pytest
+
+from repro.qa.fuzz import (FuzzReport, ScenarioVerdict, run_fuzz,
+                           sample_scenario)
+from repro.qa.oracles import FAULT_ENV
+from repro.qa.scenario import QDISC_NAMES, Scenario
+from repro.store.artifacts import ArtifactStore
+
+SMOKE_BUDGET = 5
+
+
+# -- sampling -------------------------------------------------------------
+
+def test_sampling_is_deterministic():
+    assert sample_scenario(5, 0) == sample_scenario(5, 0)
+    assert sample_scenario(5, 0) != sample_scenario(5, 1)
+    assert sample_scenario(5, 0) != sample_scenario(6, 0)
+
+
+def test_sampled_scenarios_are_valid():
+    for index in range(40):
+        scenario = sample_scenario(index, 0)
+        assert isinstance(scenario, Scenario)  # __post_init__ validated
+
+
+def test_sampling_covers_the_space():
+    scenarios = [sample_scenario(i, 0) for i in range(150)]
+    qdiscs = {s.qdisc for s in scenarios}
+    ccas = {f.cca for s in scenarios for f in s.flows}
+    families = {s.family for s in scenarios}
+    assert qdiscs == set(QDISC_NAMES)
+    assert len(ccas) >= 8
+    assert families == {"flows", "probe"}
+
+
+# -- campaign -------------------------------------------------------------
+
+def test_smoke_campaign_passes_and_is_deterministic():
+    first = run_fuzz(SMOKE_BUDGET, seed=0, store=None, pool_check=False)
+    assert isinstance(first, FuzzReport)
+    assert len(first.verdicts) == SMOKE_BUDGET
+    assert first.failures == []
+    second = run_fuzz(SMOKE_BUDGET, seed=0, store=None, pool_check=False)
+    assert first.render() == second.render()
+
+
+def test_campaign_caches_passing_verdicts(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    cold = run_fuzz(3, seed=0, store=store, pool_check=False)
+    assert cold.cache_hits == 0
+    warm = run_fuzz(3, seed=0, store=store, pool_check=False)
+    assert warm.cache_hits == 3
+    assert cold.render() == warm.render()
+
+
+def test_injected_fault_is_caught_not_cached(monkeypatch, tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    monkeypatch.setenv(FAULT_ENV, "any")
+    report = run_fuzz(1, seed=0, store=store, pool_check=False)
+    assert len(report.failures) == 1
+    assert all(f.oracle == "injected-fault"
+               for v in report.failures for f in v.findings)
+    # Failures must never enter the verdict cache...
+    rerun = run_fuzz(1, seed=0, store=store, pool_check=False)
+    assert rerun.cache_hits == 0
+    # ...and clearing the fault changes the cache key, so clean
+    # verdicts are computed fresh rather than inherited.
+    monkeypatch.delenv(FAULT_ENV)
+    clean = run_fuzz(1, seed=0, store=store, pool_check=False)
+    assert clean.failures == []
+    assert clean.cache_hits == 0
+
+
+def test_pool_equivalence_stage():
+    report = run_fuzz(2, seed=0, store=None, pool_check=True)
+    assert report.failures == []
+
+
+def test_verdict_shape():
+    report = run_fuzz(1, seed=0, store=None, pool_check=False)
+    verdict = report.verdicts[0]
+    assert isinstance(verdict, ScenarioVerdict)
+    assert verdict.passed and verdict.oracles
+    assert verdict.fingerprint and verdict.label
+
+
+# -- CLI ------------------------------------------------------------------
+
+def test_cli_fuzz_smoke(capsys):
+    from repro.cli import main
+    assert main(["qa", "fuzz", "--budget", "2", "--seed", "0",
+                 "--no-cache", "--no-pool-check"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 scenarios passed" in out
+
+
+def test_cli_fuzz_shrinks_failures_into_corpus(monkeypatch, tmp_path,
+                                               capsys):
+    from repro.cli import main
+    monkeypatch.setenv(FAULT_ENV, "qdisc:policer")
+    corpus_dir = tmp_path / "failures"
+    # seed 0 index 1 is a policer scenario: one failure to shrink.
+    assert main(["qa", "fuzz", "--budget", "2", "--seed", "0",
+                 "--no-cache", "--no-pool-check",
+                 "--corpus-out", str(corpus_dir)]) == 1
+    cases = list(corpus_dir.glob("*.json"))
+    assert len(cases) == 1
+    from repro.qa.corpus import load_case
+    case = load_case(cases[0])
+    assert case.scenario.qdisc == "policer"
+    assert len(case.scenario.flows) == 1
+
+
+def test_cli_corpus_replay(capsys):
+    from repro.cli import main
+    assert main(["qa", "corpus", "--dir", "tests/corpus",
+                 "--replay"]) == 0
+    out = capsys.readouterr().out
+    assert "corpus cases pass" in out
+
+
+# -- full campaign (nightly / -m fuzz) ------------------------------------
+
+@pytest.mark.fuzz
+def test_full_budget_campaign_clean():
+    report = run_fuzz(200, seed=0, store=None)
+    assert report.failures == [], report.render()
+
+
+@pytest.mark.fuzz
+def test_full_campaign_render_stable(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    cold = run_fuzz(60, seed=1, store=store)
+    warm = run_fuzz(60, seed=1, store=store)
+    assert cold.render() == warm.render()
+    assert warm.cache_hits == 60

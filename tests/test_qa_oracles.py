@@ -1,0 +1,193 @@
+"""Oracle suite: gating, findings, and the metamorphic properties.
+
+Fast checks run in tier-1; the probe-envelope verification re-runs
+20-second probe simulations and lives behind ``-m slow``.
+"""
+
+import pytest
+
+from repro.qa.oracles import (FAULT_ENV, ORACLES, DeliveryBoundOracle,
+                              ElasticCrossOracle, ElasticityRescalingOracle,
+                              InelasticCrossOracle, InjectedFaultOracle,
+                              InvariantOracle, OracleFinding,
+                              RateMonotonicityOracle, SeedDeterminismOracle,
+                              oracles_for_index, run_oracles)
+from repro.qa.scenario import FlowSpec, Scenario, ScenarioOutcome, run_scenario
+
+
+def _flows_scenario(**overrides) -> Scenario:
+    base = dict(family="flows", rate_mbps=8.0, rtt_ms=20.0,
+                qdisc="droptail", duration=2.0, seed=42,
+                flows=(FlowSpec(cca="reno"),))
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _probe_scenario(**overrides) -> Scenario:
+    base = dict(family="probe", rate_mbps=20.0, rtt_ms=50.0,
+                qdisc="droptail", duration=20.0, seed=7,
+                cross_traffic="reno")
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _outcome(scenario, **overrides) -> ScenarioOutcome:
+    base = dict(scenario=scenario, delivered={"flow-0": 1_000_000},
+                qdisc_stats={}, events_processed=100, clock=2.0,
+                violations=[], probe=None)
+    base.update(overrides)
+    return ScenarioOutcome(**base)
+
+
+# -- suite shape ----------------------------------------------------------
+
+def test_oracle_names_unique():
+    names = [o.name for o in ORACLES]
+    assert len(names) == len(set(names))
+
+
+def test_period_gating_by_index():
+    scenario = _flows_scenario()
+    at_0 = {o.name for o in oracles_for_index(scenario, 0)}
+    at_1 = {o.name for o in oracles_for_index(scenario, 1)}
+    assert "seed-determinism" in at_0
+    assert "seed-determinism" not in at_1
+    assert "invariants" in at_0 and "invariants" in at_1
+
+
+def test_corpus_replay_skips_metamorphic():
+    names = {o.name for o in oracles_for_index(_flows_scenario(), None)}
+    assert "invariants" in names
+    assert "seed-determinism" not in names
+    assert "rate-monotonicity" not in names
+
+
+# -- individual oracles ---------------------------------------------------
+
+def test_invariant_oracle_relays_violations():
+    scenario = _flows_scenario()
+    bad = _outcome(scenario, violations=["[byte_conservation] boom"])
+    assert InvariantOracle().check(scenario, bad, run_scenario)
+    assert not InvariantOracle().check(scenario, _outcome(scenario),
+                                       run_scenario)
+
+
+def test_delivery_bound_oracle():
+    scenario = _flows_scenario()  # 8 Mbps * 2 s = 2 MB capacity
+    ok = _outcome(scenario, delivered={"flow-0": 1_500_000})
+    over = _outcome(scenario, delivered={"flow-0": 50_000_000})
+    oracle = DeliveryBoundOracle()
+    assert not oracle.check(scenario, ok, run_scenario)
+    assert oracle.check(scenario, over, run_scenario)
+
+
+def test_rate_monotonicity_applies_only_to_elastic_flows():
+    oracle = RateMonotonicityOracle()
+    assert oracle.applies(_flows_scenario())
+    assert not oracle.applies(
+        _flows_scenario(flows=(FlowSpec(cca="cbr"),)))
+    assert not oracle.applies(_probe_scenario())
+
+
+def test_elasticity_rescaling_holds():
+    oracle = ElasticityRescalingOracle()
+    assert oracle.check(_flows_scenario(), None, None) == []
+    assert oracle.check(_flows_scenario(seed=999), None, None) == []
+
+
+def test_probe_oracles_respect_envelope():
+    elastic = ElasticCrossOracle()
+    inelastic = InelasticCrossOracle()
+    assert elastic.applies(_probe_scenario(cross_traffic="reno"))
+    # bbr at long RTT is a documented detector gray zone: not judged.
+    assert not elastic.applies(_probe_scenario(cross_traffic="bbr"))
+    assert elastic.applies(
+        _probe_scenario(cross_traffic="bbr", rtt_ms=20.0))
+    assert not elastic.applies(
+        _probe_scenario(cross_traffic="reno", qdisc="fq"))
+    assert inelastic.applies(_probe_scenario(cross_traffic="none"))
+    assert inelastic.applies(_probe_scenario(cross_traffic="cbr"))
+    # cbr behind a shallow short-RTT queue aliases into the pulse
+    # band: not judged.
+    assert not inelastic.applies(
+        _probe_scenario(cross_traffic="cbr", rtt_ms=20.0))
+    assert not inelastic.applies(
+        _probe_scenario(cross_traffic="poisson"))
+
+
+def test_probe_oracles_flag_wrong_verdicts():
+    scenario = _probe_scenario()
+    read_clean = _outcome(scenario, probe={"contending": False,
+                                           "mean_elasticity": 1.0})
+    read_busy = _outcome(scenario, probe={"contending": True,
+                                          "mean_elasticity": 3.0})
+    assert ElasticCrossOracle().check(scenario, read_clean, run_scenario)
+    assert not ElasticCrossOracle().check(scenario, read_busy,
+                                          run_scenario)
+    quiet = _probe_scenario(cross_traffic="none")
+    assert InelasticCrossOracle().check(quiet, read_busy, run_scenario)
+    assert not InelasticCrossOracle().check(quiet, read_clean,
+                                            run_scenario)
+
+
+def test_injected_fault_matching(monkeypatch):
+    oracle = InjectedFaultOracle()
+    assert not oracle.applies(_flows_scenario())
+    monkeypatch.setenv(FAULT_ENV, "cca:cbr")
+    assert oracle.applies(_flows_scenario())
+    assert not oracle.matches(_flows_scenario())
+    assert oracle.matches(
+        _flows_scenario(flows=(FlowSpec(cca="cbr"),)))
+    monkeypatch.setenv(FAULT_ENV, "qdisc:red")
+    assert oracle.matches(_flows_scenario(qdisc="red"))
+    monkeypatch.setenv(FAULT_ENV, "any")
+    assert oracle.matches(_probe_scenario())
+
+
+def test_run_oracles_collects_findings(monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "any")
+    scenario = _flows_scenario()
+    findings = run_oracles(scenario, _outcome(scenario), run_scenario,
+                           index=1)
+    assert any(f.oracle == "injected-fault" for f in findings)
+    assert all(isinstance(f, OracleFinding) for f in findings)
+
+
+# -- metamorphic oracles against the real runner --------------------------
+
+def test_seed_determinism_oracle_on_real_run():
+    scenario = _flows_scenario()
+    outcome = run_scenario(scenario)
+    assert SeedDeterminismOracle().check(scenario, outcome,
+                                         run_scenario) == []
+
+
+def test_rate_monotonicity_oracle_on_real_run():
+    scenario = _flows_scenario(qdisc="tbf")
+    outcome = run_scenario(scenario)
+    assert RateMonotonicityOracle().check(scenario, outcome,
+                                          run_scenario) == []
+
+
+# -- the calibrated envelope itself (slow: 20 s probe sims) ---------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cross,rate,rtt", [
+    ("reno", 20.0, 50.0), ("bbr", 20.0, 20.0)])
+def test_envelope_elastic_cells_detected(cross, rate, rtt):
+    scenario = _probe_scenario(cross_traffic=cross, rate_mbps=rate,
+                               rtt_ms=rtt)
+    outcome = run_scenario(scenario, check_invariants=False)
+    assert ElasticCrossOracle().check(scenario, outcome,
+                                      run_scenario) == []
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cross,rate,rtt", [
+    ("cbr", 20.0, 50.0), ("none", 20.0, 50.0)])
+def test_envelope_inelastic_cells_clean(cross, rate, rtt):
+    scenario = _probe_scenario(cross_traffic=cross, rate_mbps=rate,
+                               rtt_ms=rtt)
+    outcome = run_scenario(scenario, check_invariants=False)
+    assert InelasticCrossOracle().check(scenario, outcome,
+                                        run_scenario) == []

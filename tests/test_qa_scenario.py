@@ -1,0 +1,143 @@
+"""Scenario model: validation, serialization, qdisc construction,
+and the runner's invariant audit."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.qa.scenario import (FLOW_CCAS, QDISC_NAMES, FlowSpec, Scenario,
+                               ScenarioOutcome, build_qdisc, run_scenario,
+                               scenario_fingerprint)
+
+
+def _flows_scenario(**overrides) -> Scenario:
+    base = dict(family="flows", rate_mbps=8.0, rtt_ms=20.0,
+                qdisc="droptail", duration=2.0, seed=42,
+                flows=(FlowSpec(cca="reno"),))
+    base.update(overrides)
+    return Scenario(**base)
+
+
+# -- validation -----------------------------------------------------------
+
+def test_rejects_unknown_qdisc():
+    with pytest.raises(ConfigError, match="unknown qdisc"):
+        _flows_scenario(qdisc="wfq")
+
+
+def test_rejects_unknown_cca():
+    with pytest.raises(ConfigError, match="unknown flow CCA"):
+        FlowSpec(cca="quic")
+
+
+def test_rejects_flowless_flows_family():
+    with pytest.raises(ConfigError, match="at least one flow"):
+        _flows_scenario(flows=())
+
+
+def test_rejects_probe_with_flows():
+    with pytest.raises(ConfigError, match="probe"):
+        Scenario(family="probe", rate_mbps=20.0, rtt_ms=50.0,
+                 qdisc="droptail", duration=20.0, seed=0,
+                 flows=(FlowSpec(cca="reno"),))
+
+
+def test_rejects_bad_link_params():
+    with pytest.raises(ConfigError):
+        _flows_scenario(rate_mbps=0.0)
+    with pytest.raises(ConfigError):
+        _flows_scenario(buffer_multiplier=-1.0)
+    with pytest.raises(ConfigError):
+        _flows_scenario(cross_traffic="ddos")
+
+
+# -- serialization --------------------------------------------------------
+
+def test_dict_round_trip():
+    scenario = _flows_scenario(
+        qdisc="htb", cross_traffic="cbr",
+        flows=(FlowSpec(cca="dctcp", ecn=True, user_id="a"),
+               FlowSpec(cca="cbr", rate_frac=0.5, start=0.5)))
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+def test_fingerprint_tracks_content():
+    a = _flows_scenario()
+    assert scenario_fingerprint(a) == scenario_fingerprint(
+        _flows_scenario())
+    assert scenario_fingerprint(a) != scenario_fingerprint(
+        _flows_scenario(seed=43))
+
+
+def test_label_mentions_key_facts():
+    label = _flows_scenario(qdisc="red").label()
+    assert "red" in label and "reno" in label and "8mbps" in label
+
+
+# -- qdisc construction ---------------------------------------------------
+
+@pytest.mark.parametrize("name", QDISC_NAMES)
+def test_build_qdisc_all_eight(name):
+    qdisc = build_qdisc(_flows_scenario(qdisc=name))
+    assert len(qdisc) == 0
+    assert qdisc.byte_length == 0
+
+
+def test_shaper_rates_scale_with_link():
+    slow = build_qdisc(_flows_scenario(qdisc="tbf", rate_mbps=8.0))
+    fast = build_qdisc(_flows_scenario(qdisc="tbf", rate_mbps=16.0))
+    assert fast.rate == pytest.approx(2.0 * slow.rate)
+
+
+# -- runner ---------------------------------------------------------------
+
+def test_run_scenario_delivers_and_audits():
+    outcome = run_scenario(_flows_scenario())
+    assert isinstance(outcome, ScenarioOutcome)
+    assert outcome.total_delivered > 0
+    assert outcome.violations == []
+    assert outcome.qdisc_stats["dequeued"] > 0
+    assert outcome.probe is None
+
+
+def test_run_scenario_deterministic():
+    scenario = _flows_scenario(qdisc="sfq",
+                               flows=(FlowSpec(cca="cubic"),
+                                      FlowSpec(cca="bbr", user_id="b")))
+    assert (run_scenario(scenario).fingerprint()
+            == run_scenario(scenario).fingerprint())
+
+
+def test_run_scenario_skip_invariants_same_fingerprint():
+    scenario = _flows_scenario()
+    audited = run_scenario(scenario, check_invariants=True)
+    bare = run_scenario(scenario, check_invariants=False)
+    assert audited.fingerprint() == bare.fingerprint()
+
+
+def test_every_cca_runs_clean():
+    for cca in FLOW_CCAS:
+        scenario = _flows_scenario(
+            duration=1.5,
+            flows=(FlowSpec(cca=cca, ecn=(cca == "dctcp")),))
+        outcome = run_scenario(scenario)
+        assert outcome.violations == [], f"{cca}: {outcome.violations}"
+
+
+def test_probe_scenario_reports_verdict():
+    scenario = Scenario(family="probe", rate_mbps=20.0, rtt_ms=50.0,
+                        qdisc="droptail", duration=13.0, seed=5,
+                        cross_traffic="none")
+    outcome = run_scenario(scenario)
+    assert outcome.probe is not None
+    assert outcome.probe["contending"] is False
+    assert outcome.violations == []
+
+
+def test_delayed_start_flow():
+    scenario = _flows_scenario(
+        flows=(FlowSpec(cca="reno"),
+               FlowSpec(cca="reno", user_id="b", start=1.0)))
+    outcome = run_scenario(scenario)
+    assert outcome.delivered["flow-0"] > outcome.delivered["flow-1"] > 0

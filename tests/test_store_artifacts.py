@@ -124,6 +124,81 @@ class TestCorruptionRecovery:
         fresh = ArtifactStore(tmp_path / "s")
         assert fresh.get(key) == "v"
 
+    @staticmethod
+    def _corrupt_entry(root, mutate):
+        """Rewrite index.json through ``mutate(entries_dict)``."""
+        index_path = root / "index.json"
+        index = json.loads(index_path.read_text())
+        mutate(index["entries"])
+        index_path.write_text(json.dumps(index))
+
+    def test_gc_survives_torn_entry(self, tmp_path):
+        """A mid-write crash can leave an entry as a bare string; gc
+        must repair it from the object file, not abort."""
+        store = ArtifactStore(tmp_path / "s")
+        keep, torn = key_of("k1"), key_of("k2")
+        store.put(keep, "v1")
+        store.put(torn, "v2")
+        self._corrupt_entry(store.root,
+                            lambda e: e.update({torn: "garbage"}))
+        fresh = ArtifactStore(tmp_path / "s")
+        evicted, freed = fresh.prune(max_bytes=10**9)
+        assert (evicted, freed) == (0, 0)
+        assert fresh.get(keep) == "v1"
+        assert fresh.get(torn) == "v2"  # entry rebuilt from the object
+        assert fresh.entries()[torn]["size"] > 0
+
+    def test_gc_survives_entry_missing_fields(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key = key_of("k3")
+        store.put(key, "v")
+        self._corrupt_entry(store.root,
+                            lambda e: e[key].pop("last_access"))
+        fresh = ArtifactStore(tmp_path / "s")
+        evicted, _ = fresh.prune(max_age_s=10**9)
+        assert evicted == 0
+        assert fresh.get(key) == "v"
+
+    def test_gc_drops_entry_for_missing_object(self, tmp_path):
+        """A torn entry whose object is also gone has nothing to
+        account: it is dropped, and gc proceeds over the rest."""
+        store = ArtifactStore(tmp_path / "s")
+        keep, ghost = key_of("k4"), key_of("k5")
+        store.put(keep, "v")
+        store.put(ghost, "v")
+        store._object_path(ghost).unlink()
+        self._corrupt_entry(store.root,
+                            lambda e: e.update({ghost: None}))
+        fresh = ArtifactStore(tmp_path / "s")
+        fresh.prune(max_bytes=10**9)
+        assert ghost not in fresh.entries()
+        assert fresh.get(keep) == "v"
+
+    def test_gc_survives_non_hex_key(self, tmp_path):
+        """A non-hex key cannot map to an object path; it must be
+        dropped from the index rather than crash prune."""
+        store = ArtifactStore(tmp_path / "s")
+        keep = key_of("k6")
+        store.put(keep, "v")
+        self._corrupt_entry(
+            store.root,
+            lambda e: e.update({"not-a-digest!": {"size": 1}}))
+        fresh = ArtifactStore(tmp_path / "s")
+        evicted, _ = fresh.prune(max_age_s=0.0, max_bytes=0)
+        assert evicted == 1  # only the real entry was evictable
+        assert "not-a-digest!" not in fresh.entries()
+
+    def test_stat_survives_torn_entry(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key = key_of("k7")
+        store.put(key, "v")
+        self._corrupt_entry(store.root,
+                            lambda e: e.update({key: 123}))
+        fresh = ArtifactStore(tmp_path / "s")
+        stats = fresh.stat()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+
 
 class TestPrune:
     def test_prune_by_age(self, store):
