@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-full
+.PHONY: test bench bench-quick bench-full serve serve-smoke
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -24,3 +24,11 @@ bench-quick:
 ## paper-scale built-in bench (serial vs parallel wall clock)
 bench-full:
 	$(PYTHON) -m repro bench --full
+
+## run the always-on experiment service (see SERVING.md)
+serve:
+	$(PYTHON) -m repro serve
+
+## end-to-end service smoke: submit over HTTP, cache hit, clean drain
+serve-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py

@@ -1,0 +1,119 @@
+"""CI smoke for the experiment service: submit, cache, drain.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+
+Starts a real ``repro serve`` subprocess against a throwaway store
+root and asserts, over plain HTTP:
+
+1. A submitted experiment job runs to completion and returns a sane
+   summary.
+2. Resubmitting the identical request is answered from the store
+   (``disposition == "cached"``) with a byte-identical summary and no
+   second execution (checked via ``/metrics``).
+3. SIGTERM triggers a graceful drain: the process exits 0 and reports
+   a clean drain on stdout.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+SERVER_STARTUP_S = 30
+JOB_TIMEOUT_S = 120
+
+
+def check(label, condition, detail=""):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}{': ' + detail if detail else ''}")
+    if not condition:
+        raise SystemExit(f"serve smoke failed: {label} ({detail})")
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_server(client, deadline):
+    while time.time() < deadline:
+        try:
+            return client.healthz()
+        except Exception:
+            time.sleep(0.2)
+    raise SystemExit("serve smoke failed: server never became healthy")
+
+
+def main():
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..",
+                                    "src"))
+    from repro.serve import ServeClient
+
+    port = free_port()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        env = dict(os.environ, REPRO_STORE=os.path.join(tmp, "store"),
+                   PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", str(port), "--concurrency", "1",
+             "--rate", "0"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            client = ServeClient(port=port, client_id="ci-smoke",
+                                 timeout=10.0)
+            health = wait_for_server(
+                client, time.time() + SERVER_STARTUP_S)
+            check("server healthy", health["status"] == "ok",
+                  json.dumps(health))
+
+            request = ("experiment", {"experiment": "fig2",
+                                      "smoke": True})
+            t0 = time.time()
+            first = client.submit_and_wait(*request,
+                                           timeout=JOB_TIMEOUT_S)
+            check("job completed", first["state"] == "done",
+                  f"{time.time() - t0:.1f}s")
+            check("summary present",
+                  first["summary"]["experiment"] == "fig2")
+
+            second = client.submit(*request)
+            check("resubmission served from store",
+                  second.get("disposition") == "cached",
+                  second.get("disposition", "?"))
+            check("cached summary byte-identical",
+                  json.dumps(second["summary"], sort_keys=True)
+                  == json.dumps(first["summary"], sort_keys=True))
+
+            metrics = client.metrics()
+            check("exactly one execution",
+                  metrics["serve.jobs_executed"]["value"] == 1)
+            check("cache hit counted",
+                  metrics["serve.jobs_cached"]["value"] == 1)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            try:
+                out, _ = proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                out, _ = proc.communicate()
+                raise SystemExit(
+                    "serve smoke failed: SIGTERM did not stop the "
+                    f"server; output:\n{out}")
+        check("clean exit code", proc.returncode == 0,
+              str(proc.returncode))
+        check("drain reported clean", "drained cleanly" in out,
+              out.strip().splitlines()[-1] if out.strip() else "")
+    print("serve smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,12 @@ The package provides, bottom-up:
   atomic on-disk artifacts (``$REPRO_STORE``/``~/.cache/repro``),
   per-task checkpointing, and cache-aware reruns that only execute
   what changed.
+* :mod:`repro.serve` -- the always-on experiment service
+  (``repro serve``): a stdlib asyncio HTTP server with idempotent
+  fingerprint-based admission (store cache hits, in-flight request
+  coalescing), a bounded priority queue with 429 + Retry-After
+  backpressure, per-client token-bucket rate limiting, and graceful
+  SIGTERM drain with journal-based resume (see SERVING.md).
 
 Quickstart::
 

@@ -18,6 +18,15 @@ Subcommands:
 * ``repro qa fuzz|shrink|corpus`` -- deterministic scenario fuzzing
   against the oracle suite, failure minimization, and the committed
   regression corpus (see TESTING.md).
+* ``repro serve`` -- run the always-on experiment service: an asyncio
+  HTTP server accepting campaign/pipeline/sweep/qa-fuzz requests as
+  JSON, with request coalescing, store-backed cache hits, rate
+  limiting, and graceful drain (see SERVING.md).
+
+Machine-readable output: ``run`` / ``trace`` / ``metrics`` / ``qa
+fuzz`` / ``qa corpus`` accept ``--json``, printing a single JSON
+document to stdout.  Exit codes are uniform: 0 success, 1 failure
+(including any :class:`repro.errors.ReproError`), 2 usage error.
 
 Parallelism: experiments with independent inner work (the campaign,
 the Figure 2 pipeline) accept ``--workers N``; without the flag the
@@ -64,6 +73,19 @@ def _smoke_overrides(name: str) -> dict:
         params["phases"] = tuple(Phase(p.name, 15.0)
                                  for p in FIGURE3_PHASES)
     return params
+
+
+def _json_default(obj):
+    """JSON fallback for numpy scalars and other numerics."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def _print_json(payload: dict) -> None:
+    import json
+    print(json.dumps(payload, indent=2, sort_keys=True,
+                     default=_json_default))
 
 
 def cmd_list(args) -> int:
@@ -157,10 +179,8 @@ def cmd_run(args) -> int:
             if store is not None and key is not None:
                 store.put(key, result, kind="experiment",
                           label=args.experiment)
-    print(result.text)
-    tag = " (cached)" if cached else ""
-    print(f"\n[{result.experiment} finished in "
-          f"{result.elapsed_s:.1f}s{tag}]")
+    written = []
+    prior = False
     if args.out:
         from .obs.metrics import REGISTRY
         if len(REGISTRY):
@@ -170,13 +190,25 @@ def cmd_run(args) -> int:
         prior = (Path(args.out) / result.experiment
                  / "report.txt").exists()
         written = result.save(args.out, force=args.force)
-        for path in written:
-            print(f"wrote {path}")
-        if prior and not args.force:
-            print(f"note: {args.out} already held a "
-                  f"{result.experiment} result; the new files were "
-                  "versioned alongside it (use --force to overwrite "
-                  "in place)")
+    if args.json:
+        _print_json({"experiment": result.experiment,
+                     "metrics": dict(result.metrics),
+                     "params": result.params,
+                     "elapsed_s": result.elapsed_s,
+                     "cached": cached,
+                     "written": [str(p) for p in written]})
+        return 0
+    print(result.text)
+    tag = " (cached)" if cached else ""
+    print(f"\n[{result.experiment} finished in "
+          f"{result.elapsed_s:.1f}s{tag}]")
+    for path in written:
+        print(f"wrote {path}")
+    if prior and not args.force:
+        print(f"note: {args.out} already held a "
+              f"{result.experiment} result; the new files were "
+              "versioned alongside it (use --force to overwrite "
+              "in place)")
     return 0
 
 
@@ -192,6 +224,12 @@ def cmd_trace(args) -> int:
     with JsonlTraceWriter(args.out, kinds=kinds) as writer, \
             using_store(_cli_store(args)):
         result = run_fn(**params)
+    if args.json:
+        _print_json({"experiment": result.experiment,
+                     "out": args.out,
+                     "events": writer.count,
+                     "counts": dict(writer.counts)})
+        return 0
     print(f"{result.experiment}: wrote {writer.count} events "
           f"to {args.out}")
     for kind, n in sorted(writer.counts.items()):
@@ -211,6 +249,13 @@ def cmd_metrics(args) -> int:
     with using_store(_cli_store(args)):
         result = run_fn(**params)
     snapshot = REGISTRY.snapshot()
+    if args.json:
+        _print_json({"experiment": result.experiment,
+                     "metrics_registry": snapshot})
+        if args.out:
+            result.attachments["metrics_registry"] = snapshot
+            result.save(args.out)
+        return 0
     for name, entry in snapshot.items():
         if entry["type"] == "histogram":
             count = entry["count"]
@@ -350,7 +395,17 @@ def cmd_qa_fuzz(args) -> int:
     report = run_fuzz(args.budget, seed=args.seed,
                       store=_cli_store(args),
                       pool_check=not args.no_pool_check)
-    print(report.render())
+    if args.json:
+        _print_json({
+            "seed": report.seed,
+            "budget": report.budget,
+            "passed": report.budget - len(report.failures),
+            "cache_hits": report.cache_hits,
+            "failures": [{"index": v.index, "label": v.label,
+                          "findings": [str(f) for f in v.findings]}
+                         for v in report.failures]})
+    else:
+        print(report.render())
     print(f"[{_time.time() - t0:.1f}s, {report.cache_hits} cached "
           f"verdicts]", file=sys.stderr)
     failures = report.failures
@@ -417,24 +472,52 @@ def cmd_qa_corpus(args) -> int:
     from .qa.corpus import load_corpus, replay_case
 
     cases = load_corpus(args.dir)
-    if not cases:
+    if not cases and not args.json:
         print(f"no corpus cases under {args.dir}")
         return 0
     failed = 0
+    rows = []
     for case in cases:
-        line = f"{case.name}  oracle={case.oracle}  {case.scenario.label()}"
+        findings = []
         if args.replay:
             _, findings = replay_case(case)
-            status = "FAIL" if findings else "pass"
-            print(f"[{status}] {line}")
-            for finding in findings:
-                print(f"    ! {finding}")
             failed += bool(findings)
+        rows.append({"name": case.name, "oracle": case.oracle,
+                     "label": case.scenario.label(),
+                     "findings": [str(f) for f in findings]})
+    if args.json:
+        _print_json({"dir": args.dir, "replayed": args.replay,
+                     "passed": len(cases) - failed, "total": len(cases),
+                     "cases": rows})
+        return 1 if failed else 0
+    for row in rows:
+        line = f"{row['name']}  oracle={row['oracle']}  {row['label']}"
+        if args.replay:
+            status = "FAIL" if row["findings"] else "pass"
+            print(f"[{status}] {line}")
+            for finding in row["findings"]:
+                print(f"    ! {finding}")
         else:
             print(line)
     if args.replay:
         print(f"{len(cases) - failed}/{len(cases)} corpus cases pass")
     return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: run the always-on experiment service."""
+    import asyncio
+
+    from .serve.server import serve_main
+
+    store = _cli_store(args)
+    clean = asyncio.run(serve_main(
+        host=args.host, port=args.port, store=store,
+        queue_depth=args.queue_depth, concurrency=args.concurrency,
+        job_workers=args.job_workers, timeout_s=args.job_timeout,
+        rate=args.rate, burst=args.burst,
+        drain_grace_s=args.drain_grace))
+    return 0 if clean else 1
 
 
 def cmd_synth_ndt(args) -> int:
@@ -468,6 +551,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "its checkpoint manifest (skip paths "
                                 "it quarantined as failing)")
 
+    def add_json_flag(p):
+        p.add_argument("--json", action="store_true",
+                       help="print one machine-readable JSON document "
+                            "to stdout instead of the report text")
+
     p_run = sub.add_parser("run", help="run an experiment")
     p_run.add_argument("experiment")
     p_run.add_argument("--out", help="directory for CSV/JSON artifacts")
@@ -481,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for parallel experiments "
                             "(default: $REPRO_WORKERS, then CPU count)")
     add_cache_flags(p_run)
+    add_json_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_trace = sub.add_parser(
@@ -496,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int)
     p_trace.add_argument("--workers", type=int)
     add_cache_flags(p_trace)
+    add_json_flag(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
 
     p_metrics = sub.add_parser(
@@ -508,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--seed", type=int)
     p_metrics.add_argument("--workers", type=int)
     add_cache_flags(p_metrics)
+    add_json_flag(p_metrics)
     p_metrics.set_defaults(fn=cmd_metrics)
 
     p_store = sub.add_parser(
@@ -570,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report failures without shrinking them")
     p_fuzz.add_argument("--no-pool-check", action="store_true",
                         help="skip the worker-equivalence stage")
+    add_json_flag(p_fuzz)
     p_fuzz.set_defaults(fn=cmd_qa_fuzz)
     p_shrink = qa_sub.add_parser(
         "shrink", help="re-minimize a saved corpus case")
@@ -585,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="corpus directory")
     p_corpus.add_argument("--replay", action="store_true",
                           help="re-run every case through the oracles")
+    add_json_flag(p_corpus)
     p_corpus.set_defaults(fn=cmd_qa_corpus)
 
     p_synth = sub.add_parser("synth-ndt",
@@ -593,13 +686,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--out", default="ndt.jsonl")
     p_synth.add_argument("--seed", type=int)
     p_synth.set_defaults(fn=cmd_synth_ndt)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on experiment service (HTTP)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="bounded job queue size; beyond it "
+                              "submissions get 429 + Retry-After")
+    p_serve.add_argument("--concurrency", type=int, default=2,
+                         help="jobs executed at once")
+    p_serve.add_argument("--job-workers", type=int,
+                         help="worker processes each job may use "
+                              "(default: $REPRO_WORKERS, then CPU count)")
+    p_serve.add_argument("--job-timeout", type=float,
+                         help="per-job wall-clock budget in seconds "
+                              "(default: none)")
+    p_serve.add_argument("--rate", type=float, default=2.0,
+                         help="per-client sustained submissions/second "
+                              "(0 disables rate limiting)")
+    p_serve.add_argument("--burst", type=float, default=10.0,
+                         help="per-client burst allowance")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds to wait for in-flight jobs on "
+                              "SIGTERM before checkpointing them")
+    add_cache_flags(p_serve, with_resume=False)
+    p_serve.set_defaults(fn=cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success, 1 failure (any :class:`ReproError` is
+    reported on stderr), 2 usage error (argparse).
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from .errors import ReproError
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -101,9 +101,10 @@ class FaultPolicy:
         backoff_s: sleep before the first retry; each further retry
             multiplies it by ``backoff_factor`` (exponential backoff).
         backoff_factor: backoff growth per retry.
-        timeout_s: per-attempt wall-clock deadline (POSIX only --
-            enforced via ``SIGALRM``; silently unenforced elsewhere).
-            ``None`` disables the deadline.
+        timeout_s: per-attempt wall-clock deadline, enforced via
+            ``SIGALRM`` on the POSIX main thread; anywhere else the
+            deadline is unenforced and a one-time ``RuntimeWarning``
+            says so.  ``None`` disables the deadline.
     """
 
     retries: int = 2
@@ -176,18 +177,40 @@ def _maybe_inject_fault(label: str, attempt: int) -> None:
             f"injected fault on {label!r} attempt {attempt + 1}")
 
 
+#: One-time flag: warn only once per process when a requested deadline
+#: cannot be enforced (non-POSIX, or a non-main thread such as the
+#: serve thread executor).
+_DEADLINE_WARNED = False
+
+
 @contextlib.contextmanager
 def _task_deadline(seconds: float | None):
     """Enforce a wall-clock deadline via ``SIGALRM`` where possible.
 
     Simulation tasks are CPU-bound pure Python, so a cooperative
     thread-based timeout could never interrupt them; a real signal can.
-    Outside POSIX main threads the deadline is a no-op (documented in
-    :class:`FaultPolicy`).
+    ``SIGALRM`` only works on the Unix main thread, so when a deadline
+    is requested anywhere else -- pool tasks running serially inside
+    the serve thread executor are the common case -- the deadline
+    degrades to a no-op with a one-time :class:`RuntimeWarning`
+    (callers such as :class:`repro.serve.jobs.JobManager` layer their
+    own job-level timeout on top).
     """
-    usable = (seconds is not None and hasattr(signal, "SIGALRM")
+    if seconds is None:
+        yield
+        return
+    usable = (hasattr(signal, "SIGALRM")
               and threading.current_thread() is threading.main_thread())
     if not usable:
+        global _DEADLINE_WARNED
+        if not _DEADLINE_WARNED:
+            _DEADLINE_WARNED = True
+            import warnings
+            warnings.warn(
+                f"task deadline of {seconds:g}s cannot be enforced "
+                "outside the POSIX main thread; tasks run without a "
+                "deadline (enforce timeouts at the caller, e.g. the "
+                "serve job timeout)", RuntimeWarning, stacklevel=3)
         yield
         return
 

@@ -1,0 +1,507 @@
+"""Job execution for the experiment service.
+
+Two layers live here:
+
+* **Executors** -- one module-level function per job kind, mapping a
+  request's params to ``(summary, payload)``.  The summary is the
+  JSON document returned over HTTP; the payload is the full result
+  object, stored in the artifact store under the request fingerprint.
+  Executors run on a thread executor and reuse the existing batch
+  machinery (:class:`repro.core.campaign.Campaign`,
+  :func:`repro.ndt.pipeline.run_pipeline`,
+  :func:`repro.experiments.runner.sweep`,
+  :func:`repro.qa.fuzz.run_fuzz`), always passing the service's store
+  through -- so campaign jobs checkpoint per path and a killed server
+  resumes them.
+
+* **JobManager** -- admission and lifecycle.  On submit it
+  fingerprints the request; a completed fingerprint is answered
+  directly from the store (no execution), an identical in-flight
+  fingerprint coalesces onto the running job (one execution, every
+  waiter gets the result), and everything else is journaled and
+  enqueued.  Worker coroutines drain the queue, run executors with a
+  per-job timeout, and write results back to the store.  ``drain``
+  implements graceful shutdown: stop admitting, let in-flight jobs
+  finish (or stay checkpointed), and leave undone journal entries for
+  the next server start to re-enqueue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import functools
+import time
+from typing import Callable
+
+from ..errors import ConfigError, ReproError
+from ..obs.metrics import REGISTRY as _METRICS
+from ..store.artifacts import ArtifactStore
+from ..store.atomic import atomic_write_json
+from ..store.fingerprint import fingerprint
+from .protocol import Job, JobRequest, JobState
+from .queue import JobQueue, QueueFull
+
+_JOURNAL_VERSION = 1
+
+
+class ServiceDraining(ReproError):
+    """The service is draining and no longer admits jobs."""
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+def _int_param(params: dict, name: str, default: int,
+               minimum: int = 1) -> int:
+    value = params.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        raise ConfigError(
+            f"param {name!r} must be an integer >= {minimum}: {value!r}")
+    return value
+
+
+def _float_param(params: dict, name: str, default: float) -> float:
+    value = params.get(name, default)
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value <= 0:
+        raise ConfigError(
+            f"param {name!r} must be a positive number: {value!r}")
+    return float(value)
+
+
+def execute_campaign(params: dict, store, workers) -> tuple[dict, object]:
+    """``campaign`` jobs: a §3.2-style measurement study (E7).
+
+    Runs through :meth:`Campaign.run` with the service's store, so
+    every completed path checkpoints and an interrupted job resumes.
+    """
+    from ..core.campaign import Campaign
+
+    campaign = Campaign(
+        n_paths=_int_param(params, "n_paths", 40),
+        seed=_int_param(params, "seed", 0, minimum=0),
+        duration=_float_param(params, "duration", 30.0),
+        fq_fraction=float(params.get("fq_fraction", 0.3)))
+    result = campaign.run(store=store, workers=workers,
+                          resume=bool(params.get("resume", False)))
+    outcome = [{"contending": r.verdict.contending,
+                "category": r.verdict.category,
+                "mean_elasticity": r.verdict.mean_elasticity}
+               for r in result.results]
+    summary = {
+        "n_paths": len(result.results) + len(result.failed),
+        "n_failed": len(result.failed),
+        "fraction_contending": result.fraction_contending,
+        "true_fraction_contending": result.true_fraction_contending,
+        "detector_quality": result.detector_quality(),
+        "result_fingerprint": fingerprint(outcome,
+                                          kind="campaign-outcome"),
+    }
+    return summary, result
+
+
+def execute_pipeline(params: dict, store, workers) -> tuple[dict, object]:
+    """``pipeline`` jobs: the §3.1 passive NDT pipeline over a
+    synthetic dataset (Figure 2)."""
+    from ..ndt.pipeline import run_pipeline
+    from ..ndt.synth import SyntheticNdtGenerator
+
+    flows = _int_param(params, "flows", 2000)
+    seed = _int_param(params, "seed", 0, minimum=0)
+    dataset = SyntheticNdtGenerator(seed=seed).generate(flows)
+    result = run_pipeline(
+        dataset,
+        min_relative_shift=_float_param(params, "min_relative_shift",
+                                        0.25),
+        workers=workers, store=store)
+    summary = {
+        "total": result.total,
+        "counts": {getattr(cat, "name", str(cat)): n
+                   for cat, n in sorted(result.counts.items(),
+                                        key=lambda kv: str(kv[0]))},
+        "remaining_with_shifts": result.remaining_with_shifts,
+    }
+    return summary, result
+
+
+def execute_experiment(params: dict, store, workers) -> tuple[dict, object]:
+    """``experiment`` jobs: any registered experiment by name."""
+    import inspect
+
+    from ..experiments import EXPERIMENTS
+
+    name = params.get("experiment")
+    if name not in EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {name!r}; "
+            f"try: {', '.join(sorted(EXPERIMENTS))}")
+    run_fn = EXPERIMENTS[name]
+    run_params: dict = {}
+    if params.get("smoke"):
+        from ..cli import _smoke_overrides
+        run_params.update(_smoke_overrides(name))
+    extra = params.get("params", {})
+    if not isinstance(extra, dict):
+        raise ConfigError(f"param 'params' must be an object: {extra!r}")
+    run_params.update(extra)
+    accepted = inspect.signature(run_fn).parameters
+    unknown = set(run_params) - set(accepted)
+    if unknown:
+        raise ConfigError(f"experiment {name} does not accept: "
+                          f"{', '.join(sorted(unknown))}")
+    if workers is not None and "workers" in accepted:
+        run_params["workers"] = workers
+    result = run_fn(**run_params)
+    summary = {
+        "experiment": result.experiment,
+        "metrics": dict(result.metrics),
+        "elapsed_s": result.elapsed_s,
+    }
+    return summary, result
+
+
+def _run_sweep_point(value, experiment: str, param: str, base: dict):
+    """Module-level (picklable, fingerprintable) sweep task body."""
+    from ..experiments import EXPERIMENTS
+    return EXPERIMENTS[experiment](**{**base, param: value})
+
+
+def execute_sweep(params: dict, store, workers) -> tuple[dict, object]:
+    """``sweep`` jobs: one experiment across a parameter range."""
+    from ..experiments import EXPERIMENTS
+    from ..experiments.runner import sweep
+
+    name = params.get("experiment")
+    if name not in EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {name!r}; "
+            f"try: {', '.join(sorted(EXPERIMENTS))}")
+    param = params.get("param")
+    values = params.get("values")
+    if not isinstance(param, str) or not param:
+        raise ConfigError(f"param 'param' must be a string: {param!r}")
+    if not isinstance(values, (list, tuple)) or not values:
+        raise ConfigError(
+            f"param 'values' must be a non-empty array: {values!r}")
+    base = params.get("base", {})
+    if not isinstance(base, dict):
+        raise ConfigError(f"param 'base' must be an object: {base!r}")
+    task = functools.partial(_run_sweep_point, experiment=name,
+                             param=param, base=base)
+    rows = sweep(list(values), task, label=param, workers=workers,
+                 store=store)
+    return {"experiment": name, "param": param, "rows": rows}, rows
+
+
+def execute_qa_fuzz(params: dict, store, workers) -> tuple[dict, object]:
+    """``qa-fuzz`` jobs: a budgeted scenario-fuzz campaign."""
+    from ..qa.fuzz import run_fuzz
+
+    budget = _int_param(params, "budget", 25)
+    seed = _int_param(params, "seed", 0, minimum=0)
+    report = run_fuzz(budget, seed=seed, store=store,
+                      pool_check=bool(params.get("pool_check", False)))
+    summary = {
+        "budget": budget,
+        "seed": seed,
+        "passed": budget - len(report.failures),
+        "failures": [{"index": v.index, "label": v.label,
+                      "findings": [str(f) for f in v.findings]}
+                     for v in report.failures],
+        "cache_hits": report.cache_hits,
+    }
+    return summary, report
+
+
+#: Kind -> executor.  Tests may register extra kinds; admission
+#: validates against this table.
+EXECUTORS: dict[str, Callable] = {
+    "campaign": execute_campaign,
+    "pipeline": execute_pipeline,
+    "experiment": execute_experiment,
+    "sweep": execute_sweep,
+    "qa-fuzz": execute_qa_fuzz,
+}
+
+
+# ---------------------------------------------------------------------------
+# JobManager
+# ---------------------------------------------------------------------------
+
+
+class JobManager:
+    """Admission, coalescing, execution, and drain for serve jobs.
+
+    Args:
+        store: artifact store for cache hits, result persistence, and
+            the admission journal; ``None`` disables all three (jobs
+            still coalesce while in flight).
+        queue_depth: bounded queue size (backpressure point).
+        concurrency: worker coroutines / executor threads running jobs.
+        job_workers: ``workers`` passed into each executor (process
+            fan-out inside a job); ``None`` defers to ``REPRO_WORKERS``.
+        timeout_s: per-job wall-clock deadline (``None`` = unlimited).
+        clock: time source for job stamps (injectable for tests).
+    """
+
+    def __init__(self, store: ArtifactStore | None = None,
+                 queue_depth: int = 64, concurrency: int = 2,
+                 job_workers: int | None = None,
+                 timeout_s: float | None = None,
+                 clock: Callable[[], float] = time.time):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be > 0: {timeout_s}")
+        self.store = store
+        self.queue = JobQueue(queue_depth, concurrency=concurrency)
+        self.concurrency = concurrency
+        self.job_workers = job_workers
+        self.timeout_s = timeout_s
+        self.clock = clock
+        self.jobs: dict[str, Job] = {}
+        self.inflight: dict[str, Job] = {}
+        self.running: set[str] = set()
+        self.draining = False
+        self._metrics = _METRICS.scoped("serve")
+        self._workers: list[asyncio.Task] = []
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+
+    # -- journal ---------------------------------------------------------
+
+    def _journal_path(self, key: str):
+        assert self.store is not None
+        return self.store.root / "serve" / "journal" / f"{key}.json"
+
+    def _journal_write(self, job: Job) -> None:
+        if self.store is None:
+            return
+        atomic_write_json(self._journal_path(job.key), {
+            "version": _JOURNAL_VERSION,
+            "request": job.request.to_dict(),
+            "admitted": job.created,
+        })
+
+    def _journal_remove(self, key: str) -> None:
+        if self.store is None:
+            return
+        try:
+            self._journal_path(key).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def resume_journal(self) -> list[Job]:
+        """Re-admit every journaled (admitted but unfinished) request.
+
+        Called on server start: a server killed mid-job left its
+        journal entries behind, and their per-task results are already
+        checkpointed in the store, so re-admission completes them
+        cheaply (fully-finished entries come straight back as cache
+        hits).  Invalid entries are dropped; a full queue leaves the
+        remaining entries for the next start.
+        """
+        if self.store is None:
+            return []
+        journal_dir = self.store.root / "serve" / "journal"
+        if not journal_dir.is_dir():
+            return []
+        resumed = []
+        for path in sorted(journal_dir.glob("*.json")):
+            try:
+                import json
+                with open(path) as f:
+                    entry = json.load(f)
+                if entry.get("version") != _JOURNAL_VERSION:
+                    raise ValueError("journal version mismatch")
+                request = JobRequest.from_dict(entry["request"])
+            except (OSError, ValueError, KeyError, ConfigError):
+                path.unlink(missing_ok=True)
+                continue
+            try:
+                job, _ = self.submit(request)
+            except QueueFull:
+                break  # keep the rest journaled for the next start
+            self._metrics.counter("jobs_resumed").inc()
+            resumed.append(job)
+        return resumed
+
+    # -- admission -------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> tuple[Job, str]:
+        """Admit one request.
+
+        Returns ``(job, disposition)`` where disposition is one of
+        ``"cached"`` (answered from the store, no execution),
+        ``"coalesced"`` (attached to an identical in-flight job), or
+        ``"queued"``.
+
+        Raises:
+            ServiceDraining: the manager no longer admits work.
+            ConfigError: unknown kind or invalid params.
+            QueueFull: backpressure; carries a Retry-After estimate.
+        """
+        if self.draining:
+            raise ServiceDraining("service is draining; retry later")
+        if request.kind not in EXECUTORS:
+            raise ConfigError(
+                f"unknown job kind {request.kind!r}; "
+                f"try: {', '.join(sorted(EXECUTORS))}")
+        key = request.fingerprint()
+        now = self.clock()
+        if self.store is not None:
+            entry = self.store.get(key)
+            if isinstance(entry, dict) and "summary" in entry:
+                job = Job(request=request, key=key, created=now,
+                          cached=True, summary=entry["summary"])
+                job.transition(JobState.DONE, now)
+                self.jobs[job.id] = job
+                self._metrics.counter("jobs_cached").inc()
+                return job, "cached"
+        existing = self.inflight.get(key)
+        if existing is not None and not existing.terminal:
+            existing.waiters += 1
+            existing.version += 1
+            self._metrics.counter("jobs_coalesced").inc()
+            return existing, "coalesced"
+        job = Job(request=request, key=key, created=now)
+        self.queue.put_nowait(job)  # may raise QueueFull
+        self.jobs[job.id] = job
+        self.inflight[key] = job
+        self._journal_write(job)
+        self._metrics.counter("jobs_admitted").inc()
+        self._metrics.gauge("queue_depth").set(len(self.queue))
+        return job, "queued"
+
+    def get_job(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> tuple[bool, str]:
+        """Cancel a queued job; running/terminal jobs refuse.
+
+        Returns ``(ok, reason)``.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return False, "not found"
+        if job.terminal:
+            return False, f"already {job.state}"
+        if job.state == JobState.RUNNING:
+            return False, "already running"
+        job.transition(JobState.CANCELLED, self.clock())
+        self.inflight.pop(job.key, None)
+        self._journal_remove(job.key)
+        self._metrics.counter("jobs_cancelled").inc()
+        return True, "cancelled"
+
+    def stats(self) -> dict:
+        """Live counters for ``/healthz``."""
+        return {
+            "queued": len(self.queue),
+            "running": len(self.running),
+            "jobs": len(self.jobs),
+            "draining": self.draining,
+        }
+
+    # -- execution -------------------------------------------------------
+
+    async def start(self) -> list[Job]:
+        """Spawn worker coroutines and resume the admission journal."""
+        if self._executor is None:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.concurrency,
+                thread_name_prefix="repro-serve")
+        resumed = self.resume_journal()
+        for _ in range(self.concurrency - len(self._workers)):
+            self._workers.append(asyncio.ensure_future(self._worker()))
+        return resumed
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self.queue.get()
+            self._metrics.gauge("queue_depth").set(len(self.queue))
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        now = self.clock()
+        self._metrics.histogram("queue_wait_s").observe(
+            max(0.0, now - job.created))
+        job.transition(JobState.RUNNING, now)
+        self.running.add(job.id)
+        self._metrics.gauge("running").set(len(self.running))
+        loop = asyncio.get_running_loop()
+        body = functools.partial(EXECUTORS[job.request.kind],
+                                 dict(job.request.params), self.store,
+                                 self.job_workers)
+        try:
+            future = loop.run_in_executor(self._executor, body)
+            summary, payload = await asyncio.wait_for(
+                future, timeout=self.timeout_s)
+        except asyncio.TimeoutError:
+            # The thread cannot be interrupted, but job-level progress
+            # is checkpointed in the store, so a resubmission resumes.
+            job.error = (f"job exceeded {self.timeout_s:g}s deadline "
+                         "(partial progress is checkpointed)")
+            job.error_type = "TimeoutError"
+            job.transition(JobState.TIMEOUT, self.clock())
+            self._journal_remove(job.key)
+            self._metrics.counter("jobs_timeout").inc()
+        except asyncio.CancelledError:
+            # Drain cancelled the worker mid-wait: the executor thread
+            # finishes on its own and the journal entry survives, so a
+            # restarted server resumes this job.
+            raise
+        except Exception as exc:
+            job.error = str(exc)
+            job.error_type = type(exc).__name__
+            job.transition(JobState.FAILED, self.clock())
+            self._journal_remove(job.key)
+            self._metrics.counter("jobs_failed").inc()
+        else:
+            job.summary = summary
+            if self.store is not None:
+                self.store.put(job.key,
+                               {"summary": summary, "payload": payload},
+                               kind="serve-job",
+                               label=f"{job.request.kind} {job.id}")
+            job.transition(JobState.DONE, self.clock())
+            self._journal_remove(job.key)
+            self._metrics.counter("jobs_executed").inc()
+            self._metrics.histogram("job_s").observe(
+                max(0.0, job.finished - job.started))
+            self.queue.observe_latency(job.finished - job.started)
+        finally:
+            self.running.discard(job.id)
+            self._metrics.gauge("running").set(len(self.running))
+            if self.inflight.get(job.key) is job:
+                self.inflight.pop(job.key, None)
+
+    # -- shutdown --------------------------------------------------------
+
+    async def drain(self, grace_s: float = 30.0) -> bool:
+        """Graceful shutdown: stop admitting, let work finish.
+
+        Waits up to ``grace_s`` for the queue and running set to empty.
+        Jobs still unfinished at the deadline keep their journal
+        entries (and their store checkpoints), so the next server start
+        re-admits and resumes them.  Returns True on a clean drain.
+        """
+        self.draining = True
+        deadline = time.monotonic() + max(0.0, grace_s)
+        while (len(self.queue) or self.running) \
+                and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        clean = not len(self.queue) and not self.running
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=clean)
+            self._executor = None
+        return clean

@@ -1,0 +1,131 @@
+"""Bounded priority job queue with admission control.
+
+The queue is the service's backpressure point: it holds at most
+``maxsize`` admitted jobs, orders them by (priority, admission
+sequence) -- smaller priority first, FIFO within a priority -- and
+refuses further admissions with :class:`QueueFull`, which carries a
+``Retry-After`` estimate derived from observed job latency.  The
+estimate is intentionally conservative: depth x recent mean job
+seconds / worker concurrency, clamped to a sane range, so clients
+back off long enough for the backlog to actually drain.
+
+Single-loop discipline: ``put_nowait`` / ``get`` are asyncio-native
+and must be called from the server's event loop; execution happens in
+a thread executor, never here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+
+from ..errors import ConfigError, ReproError
+from .protocol import Job, JobState
+
+#: Retry-After clamp (seconds): never tell a client "0", never more
+#: than two minutes.
+RETRY_AFTER_MIN, RETRY_AFTER_MAX = 1.0, 120.0
+
+#: Seed latency estimate (seconds per job) before any job completes.
+DEFAULT_JOB_S = 5.0
+
+#: EWMA weight for new latency observations.
+_LATENCY_ALPHA = 0.3
+
+
+class QueueFull(ReproError):
+    """The job queue is at capacity.
+
+    Attributes:
+        retry_after_s: suggested client backoff, in seconds.
+    """
+
+    def __init__(self, depth: int, retry_after_s: float):
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"job queue full ({depth} queued); retry in "
+            f"{retry_after_s:.0f}s")
+
+
+class JobQueue:
+    """Bounded asyncio priority queue of :class:`Job` records.
+
+    Args:
+        maxsize: admission bound (queued jobs only; running jobs have
+            already left the queue).
+        concurrency: worker coroutines draining the queue -- used only
+            to scale the Retry-After estimate.
+    """
+
+    def __init__(self, maxsize: int = 64, concurrency: int = 2):
+        if maxsize < 1:
+            raise ConfigError(f"queue maxsize must be >= 1: {maxsize}")
+        if concurrency < 1:
+            raise ConfigError(f"concurrency must be >= 1: {concurrency}")
+        self.maxsize = maxsize
+        self.concurrency = concurrency
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._waiters: list[asyncio.Future] = []
+        self._mean_job_s = DEFAULT_JOB_S
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.maxsize
+
+    # -- latency / backpressure ------------------------------------------
+
+    def observe_latency(self, seconds: float) -> None:
+        """Feed one completed-job latency into the Retry-After EWMA."""
+        if seconds >= 0:
+            self._mean_job_s += _LATENCY_ALPHA * (seconds
+                                                  - self._mean_job_s)
+
+    def retry_after(self) -> float:
+        """Suggested backoff for a rejected client, in seconds."""
+        backlog = len(self._heap) + 1  # the job that just got rejected
+        estimate = backlog * self._mean_job_s / self.concurrency
+        return min(RETRY_AFTER_MAX, max(RETRY_AFTER_MIN, estimate))
+
+    # -- queue operations ------------------------------------------------
+
+    def put_nowait(self, job: Job) -> None:
+        """Admit ``job`` or raise :class:`QueueFull`."""
+        if self.full:
+            raise QueueFull(len(self._heap), self.retry_after())
+        heapq.heappush(self._heap,
+                       (job.request.priority, next(self._seq), job))
+        self._wake_one()
+
+    def _wake_one(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.pop(0)
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+
+    async def get(self) -> Job:
+        """Wait for, then return, the most urgent queued job.
+
+        Jobs cancelled while queued are dropped here rather than
+        returned, so workers never observe them.
+        """
+        while True:
+            while self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                if job.state == JobState.CANCELLED:
+                    continue
+                return job
+            waiter = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+                raise

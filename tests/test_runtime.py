@@ -218,3 +218,54 @@ class TestCampaignJobPicklability:
 
         record = SyntheticNdtGenerator(seed=1).generate(1).records[0]
         assert pickle.loads(pickle.dumps(record)).uuid == record.uuid
+
+
+class TestTaskDeadline:
+    """SIGALRM deadlines only work on the POSIX main thread; anywhere
+    else they must degrade to a no-op with a one-time warning instead
+    of crashing the worker (the serve executor threads hit this)."""
+
+    def test_enforced_on_main_thread(self):
+        import time
+
+        from repro.runtime.pool import TaskTimeout, _task_deadline
+
+        with pytest.raises(TaskTimeout):
+            with _task_deadline(0.05):
+                deadline = time.time() + 5.0
+                while time.time() < deadline:
+                    pass  # CPU-bound: only a signal can interrupt this
+
+    def test_none_is_a_noop_anywhere(self):
+        from repro.runtime.pool import _task_deadline
+
+        with _task_deadline(None):
+            pass
+
+    def test_degrades_off_main_thread_with_one_warning(self, monkeypatch):
+        import threading
+        import warnings
+
+        from repro.runtime import pool
+
+        monkeypatch.setattr(pool, "_DEADLINE_WARNED", False)
+        caught = []
+
+        def body():
+            with warnings.catch_warnings(record=True) as batch:
+                warnings.simplefilter("always")
+                with pool._task_deadline(0.01):
+                    pass  # must not raise, must not alarm
+                with pool._task_deadline(0.01):
+                    pass  # second use: already warned, stays silent
+            caught.extend(batch)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        warned = [w for w in caught
+                  if issubclass(w.category, RuntimeWarning)]
+        assert len(warned) == 1
+        assert "cannot be enforced" in str(warned[0].message)
+        assert pool._DEADLINE_WARNED

@@ -1,0 +1,279 @@
+"""End-to-end HTTP tests against a live :class:`ServerThread`.
+
+Covers the acceptance criteria of the serve subsystem:
+
+* a campaign submitted over HTTP produces a result whose fingerprint
+  and stored payload are identical to a direct :meth:`Campaign.run`;
+* two concurrent identical submissions execute once and both receive
+  the result;
+* a server killed mid-job resumes the job from its store checkpoint
+  on restart;
+* queue-full and rate-limited requests get 429 + Retry-After;
+* ``/metrics`` reflects admit/coalesce/reject counts.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.serve import jobs as jobs_mod
+from repro.serve import (ClientRateLimiter, JobManager, ServeClient,
+                         ServeError, ServerThread)
+from repro.store import ArtifactStore
+
+#: Fast-but-real campaign config (~1s of simulated paths).
+CAMPAIGN_PARAMS = {"n_paths": 2, "seed": 3, "duration": 1.0}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    """The obs registry is process-global; serve counters must start
+    at zero for each test's assertions."""
+    from repro.obs.metrics import REGISTRY
+    REGISTRY.reset()
+    yield
+    REGISTRY.reset()
+
+
+def open_limiter():
+    """A limiter that never rejects (tests that target the queue)."""
+    return ClientRateLimiter(rate=1000.0, burst=1000.0)
+
+
+@pytest.fixture
+def block(monkeypatch):
+    release = threading.Event()
+    started = threading.Event()
+
+    def execute_block(params, store, workers):
+        started.set()
+        if not release.wait(timeout=30.0):
+            raise TimeoutError("block executor never released")
+        return {"blocked": params.get("tag", "")}, params
+
+    monkeypatch.setitem(jobs_mod.EXECUTORS, "block", execute_block)
+    yield type("Block", (), {"release": release, "started": started})
+    release.set()
+
+
+class TestEndToEnd:
+    def test_campaign_matches_direct_run(self):
+        """HTTP result == direct Campaign.run, byte for byte."""
+        from repro.core.campaign import Campaign
+        from repro.store import fingerprint
+
+        store = ArtifactStore()
+        with ServerThread(store=store, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="e2e")
+            result = client.submit_and_wait("campaign", CAMPAIGN_PARAMS,
+                                            timeout=120)
+            assert result["state"] == "done"
+            served = store.get(result["key"])
+
+        direct = Campaign(**CAMPAIGN_PARAMS).run(store=None)
+        outcome = [{"contending": r.verdict.contending,
+                    "category": r.verdict.category,
+                    "mean_elasticity": r.verdict.mean_elasticity}
+                   for r in direct.results]
+        assert result["summary"]["result_fingerprint"] == \
+            fingerprint(outcome, kind="campaign-outcome")
+        assert result["summary"]["fraction_contending"] == \
+            direct.fraction_contending
+        # the stored payload is the same object a direct run produces
+        assert pickle.dumps(served["payload"].results) == \
+            pickle.dumps(direct.results)
+
+    def test_concurrent_identical_submissions_execute_once(self, block):
+        with ServerThread(store=None, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="race")
+            results, errors = [], []
+
+            def submit():
+                try:
+                    results.append(client.submit("block", {"tag": "x"}))
+                except Exception as exc:  # surface in the main thread
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submit) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            assert len({r["id"] for r in results}) == 1, \
+                "identical submissions must coalesce onto one job"
+            block.release.set()
+            done = client.wait(results[0]["id"], timeout=30)
+            assert done["summary"] == {"blocked": "x"}
+            assert done["waiters"] == 4
+            metrics = client.metrics()
+            assert metrics["serve.jobs_admitted"]["value"] == 1
+            assert metrics["serve.jobs_coalesced"]["value"] == 3
+            assert metrics["serve.jobs_executed"]["value"] == 1
+
+    def test_resubmit_after_restart_is_a_cache_hit(self):
+        store = ArtifactStore()
+        with ServerThread(store=store, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="warm")
+            first = client.submit_and_wait("pipeline", {"flows": 200},
+                                           timeout=60)
+        # a *new* server over the same store answers without executing
+        with ServerThread(store=store, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="warm")
+            second = client.submit("pipeline", {"flows": 200})
+            assert second["disposition"] == "cached"
+            assert second["summary"] == first["summary"]
+            assert server.manager._metrics is not None
+            assert client.metrics()["serve.jobs_cached"]["value"] >= 1
+
+    def test_kill_mid_job_resumes_on_restart(self, block):
+        """A dirty shutdown leaves the journal; the next server start
+        re-admits the job and runs it to completion."""
+        store = ArtifactStore()
+        request_params = {"tag": "orphan"}
+        with ServerThread(store=store, concurrency=1, drain_grace_s=0.1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="kill")
+            job = client.submit("block", request_params)
+            assert block.started.wait(timeout=10)
+            key = job["key"]
+            # stop() with a tiny grace = SIGTERM with work in flight
+        assert server.server.drain_clean is False
+        journal = store.root / "serve" / "journal" / f"{key}.json"
+        assert journal.exists(), "unfinished job must stay journaled"
+
+        block.release.set()
+        with ServerThread(store=store, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="kill")
+            jobs = client.jobs()
+            assert [j["key"] for j in jobs] == [key]
+            done = client.wait(jobs[0]["id"], timeout=30)
+            assert done["summary"] == {"blocked": "orphan"}
+            assert client.metrics()["serve.jobs_resumed"]["value"] == 1
+        assert not journal.exists()
+
+
+class TestBackpressure:
+    def test_queue_full_gets_429_with_retry_after(self, block):
+        with ServerThread(store=None, queue_depth=1, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="flood")
+            client.submit("block", {"tag": "running"})
+            assert block.started.wait(timeout=10)
+            client.submit("block", {"tag": "queued"})
+            with pytest.raises(ServeError) as exc:
+                client.submit("block", {"tag": "overflow"})
+            assert exc.value.status == 429
+            assert exc.value.retry_after_s >= 1
+            metrics = client.metrics()
+            assert metrics["serve.jobs_rejected_full"]["value"] == 1
+            block.release.set()
+
+    def test_rate_limited_gets_429_with_retry_after(self):
+        limiter = ClientRateLimiter(rate=1.0, burst=2.0)
+        with ServerThread(store=None, limiter=limiter) as server:
+            client = ServeClient(port=server.port, client_id="greedy")
+            client.healthz()  # not rate limited: only POST /jobs is
+            client.submit("pipeline", {"flows": 200})
+            client.submit("pipeline", {"flows": 201})
+            with pytest.raises(ServeError) as exc:
+                client.submit("pipeline", {"flows": 202})
+            assert exc.value.status == 429
+            assert exc.value.retry_after_s >= 1
+            # other clients are unaffected
+            other = ServeClient(port=server.port, client_id="patient")
+            other.submit("pipeline", {"flows": 203})
+            metrics = client.metrics()
+            assert metrics["serve.jobs_rejected_rate"]["value"] == 1
+
+    def test_draining_refuses_with_503(self, block):
+        with ServerThread(store=None, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="late")
+            client.submit("block", {"tag": "inflight"})
+            assert block.started.wait(timeout=10)
+            client.drain()
+            with pytest.raises(ServeError) as exc:
+                client.submit("pipeline", {"flows": 200})
+            assert exc.value.status == 503
+            assert client.healthz()["status"] == "draining"
+            block.release.set()
+        assert server.server.drain_clean is True
+
+
+class TestHttpSurface:
+    def test_service_document_and_health(self):
+        with ServerThread(store=None) as server:
+            client = ServeClient(port=server.port)
+            doc = client._request("GET", "/")
+            assert doc["service"] == "repro-serve"
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["queued"] == 0 and health["running"] == 0
+
+    def test_unknown_routes_and_jobs(self):
+        with ServerThread(store=None) as server:
+            client = ServeClient(port=server.port)
+            with pytest.raises(ServeError) as exc:
+                client._request("GET", "/nope")
+            assert exc.value.status == 404
+            with pytest.raises(ServeError) as exc:
+                client.status("job-000000-missing")
+            assert exc.value.status == 404
+
+    def test_bad_submissions_get_400(self):
+        with ServerThread(store=None, limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="bad")
+            for body in ({"params": {}},           # no kind
+                         {"kind": "nope"},         # unknown kind
+                         {"kind": "pipeline", "extra": 1}):
+                with pytest.raises(ServeError) as exc:
+                    client._request("POST", "/jobs", body)
+                assert exc.value.status == 400
+
+    def test_result_409_until_done_then_200(self, block):
+        with ServerThread(store=None, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="poll")
+            job = client.submit("block", {"tag": "slow"})
+            assert block.started.wait(timeout=10)
+            with pytest.raises(ServeError) as exc:
+                client.result(job["id"])
+            assert exc.value.status == 409
+            assert exc.value.retry_after_s is not None
+            block.release.set()
+            client.wait(job["id"], timeout=30)
+            assert client.result(job["id"])["summary"] == \
+                {"blocked": "slow"}
+
+    def test_cancel_queued_job(self, block):
+        with ServerThread(store=None, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="cancel")
+            client.submit("block", {"tag": "running"})
+            assert block.started.wait(timeout=10)
+            queued = client.submit("block", {"tag": "victim"})
+            cancelled = client.cancel(queued["id"])
+            assert cancelled["state"] == "cancelled"
+            with pytest.raises(ServeError) as exc:
+                client.cancel(queued["id"])  # already terminal
+            assert exc.value.status == 409
+            block.release.set()
+
+    def test_event_stream_reaches_terminal_state(self):
+        with ServerThread(store=None, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="events")
+            job = client.submit("pipeline", {"flows": 200})
+            events = list(client.events(job["id"]))
+            assert events, "stream must yield at least one document"
+            versions = [e["version"] for e in events]
+            assert versions == sorted(versions)
+            assert events[-1]["state"] == "done"
+            assert events[-1]["summary"]["total"] == 200

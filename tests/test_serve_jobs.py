@@ -1,0 +1,255 @@
+"""JobManager lifecycle tests: admission, coalescing, journal resume.
+
+These drive the manager directly on an asyncio loop -- no sockets.
+A synthetic ``block`` executor (a thread parked on an Event) makes
+coalescing, backpressure, timeout, and dirty-drain scenarios
+deterministic instead of racing real experiment runtimes.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import jobs as jobs_mod
+from repro.serve.jobs import JobManager, ServiceDraining
+from repro.serve.protocol import JobRequest, JobState
+from repro.serve.queue import QueueFull
+from repro.store import ArtifactStore
+
+
+def run(coro, timeout=60.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def wait_terminal(job, timeout=30.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not job.terminal:
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError(f"job stuck in {job.state}")
+        await asyncio.sleep(0.01)
+    return job
+
+
+@pytest.fixture
+def block(monkeypatch):
+    """Register a ``block`` job kind that parks until released."""
+    release = threading.Event()
+    started = threading.Event()
+
+    def execute_block(params, store, workers):
+        started.set()
+        if not release.wait(timeout=30.0):
+            raise TimeoutError("block executor never released")
+        return {"blocked": params.get("tag", "")}, params
+
+    monkeypatch.setitem(jobs_mod.EXECUTORS, "block", execute_block)
+    yield type("Block", (), {"release": release, "started": started})
+    release.set()  # never leave an executor thread parked
+
+
+class TestExecution:
+    def test_pipeline_job_runs_to_done(self):
+        store = ArtifactStore()
+        manager = JobManager(store=store, concurrency=1)
+        request = JobRequest("pipeline", {"flows": 200})
+
+        async def scenario():
+            await manager.start()
+            job, disposition = manager.submit(request)
+            assert disposition == "queued"
+            journal = manager._journal_path(job.key)
+            assert journal.exists()
+            await wait_terminal(job)
+            assert job.state == JobState.DONE
+            assert job.summary["total"] == 200
+            assert not journal.exists()
+            await manager.drain(grace_s=5.0)
+            return job
+
+        job = run(scenario())
+        entry = store.get(job.key)
+        assert entry["summary"] == job.summary
+        assert entry["payload"].total == 200
+
+    def test_cache_hit_skips_execution(self):
+        store = ArtifactStore()
+        request = JobRequest("pipeline", {"flows": 200})
+
+        async def scenario(manager):
+            await manager.start()
+            job, disposition = manager.submit(request)
+            await wait_terminal(job)
+            await manager.drain(grace_s=5.0)
+            return job, disposition
+
+        first, disposition = run(scenario(JobManager(store=store)))
+        assert disposition == "queued"
+        second_manager = JobManager(store=store)
+        second, disposition = second_manager.submit(request)
+        assert disposition == "cached"
+        assert second.cached and second.state == JobState.DONE
+        assert second.summary == first.summary
+
+    def test_failed_job_records_error(self):
+        manager = JobManager(store=None, concurrency=1)
+        request = JobRequest("pipeline", {"flows": -5})
+
+        async def scenario():
+            await manager.start()
+            job, _ = manager.submit(request)
+            await wait_terminal(job)
+            await manager.drain(grace_s=5.0)
+            return job
+
+        job = run(scenario())
+        assert job.state == JobState.FAILED
+        assert job.error_type == "ConfigError"
+        assert "flows" in job.error
+
+    def test_timeout_marks_job(self, block):
+        manager = JobManager(store=None, concurrency=1, timeout_s=0.1)
+        request = JobRequest("block", {"tag": "slow"})
+
+        async def scenario():
+            await manager.start()
+            job, _ = manager.submit(request)
+            await wait_terminal(job)
+            await manager.drain(grace_s=0.2)
+            return job
+
+        job = run(scenario())
+        assert job.state == JobState.TIMEOUT
+        assert "deadline" in job.error
+
+
+class TestAdmission:
+    def test_unknown_kind(self):
+        manager = JobManager(store=None)
+        with pytest.raises(ConfigError, match="unknown job kind"):
+            manager.submit(JobRequest("nope"))
+
+    def test_draining_refuses(self):
+        manager = JobManager(store=None)
+        manager.draining = True
+        with pytest.raises(ServiceDraining):
+            manager.submit(JobRequest("pipeline"))
+
+    def test_coalescing(self, block):
+        manager = JobManager(store=None, concurrency=1)
+
+        async def scenario():
+            await manager.start()
+            first, d1 = manager.submit(JobRequest("block", {"tag": "a"}))
+            second, d2 = manager.submit(JobRequest("block", {"tag": "a"}))
+            other, d3 = manager.submit(JobRequest("block", {"tag": "b"}))
+            assert (d1, d2, d3) == ("queued", "coalesced", "queued")
+            assert second is first and first.waiters == 2
+            assert other is not first
+            block.release.set()
+            await wait_terminal(first)
+            await wait_terminal(other)
+            # once terminal, an identical submission is a new job
+            third, d4 = manager.submit(JobRequest("block", {"tag": "a"}))
+            assert d4 == "queued" and third is not first
+            await wait_terminal(third)
+            await manager.drain(grace_s=5.0)
+
+        run(scenario())
+
+    def test_queue_full_backpressure(self, block):
+        manager = JobManager(store=None, queue_depth=1, concurrency=1)
+
+        async def scenario():
+            await manager.start()
+            running, _ = manager.submit(JobRequest("block", {"tag": "r"}))
+            await asyncio.get_running_loop().run_in_executor(
+                None, block.started.wait, 10.0)
+            queued, _ = manager.submit(JobRequest("block", {"tag": "q"}))
+            with pytest.raises(QueueFull) as exc:
+                manager.submit(JobRequest("block", {"tag": "overflow"}))
+            assert exc.value.retry_after_s >= 1.0
+            block.release.set()
+            await wait_terminal(running)
+            await wait_terminal(queued)
+            await manager.drain(grace_s=5.0)
+
+        run(scenario())
+
+    def test_cancel_queued_only(self, block):
+        manager = JobManager(store=None, queue_depth=4, concurrency=1)
+
+        async def scenario():
+            await manager.start()
+            running, _ = manager.submit(JobRequest("block", {"tag": "r"}))
+            await asyncio.get_running_loop().run_in_executor(
+                None, block.started.wait, 10.0)
+            queued, _ = manager.submit(JobRequest("block", {"tag": "q"}))
+            ok, _ = manager.cancel(queued.id)
+            assert ok and queued.state == JobState.CANCELLED
+            ok, reason = manager.cancel(running.id)
+            assert not ok and "running" in reason
+            ok, reason = manager.cancel("job-999999-deadbeef")
+            assert not ok and "not found" in reason
+            block.release.set()
+            await wait_terminal(running)
+            await manager.drain(grace_s=5.0)
+
+        run(scenario())
+
+
+class TestDrainAndResume:
+    def test_dirty_drain_keeps_journal(self, block):
+        store = ArtifactStore()
+        manager = JobManager(store=store, concurrency=1)
+        request = JobRequest("block", {"tag": "stuck"})
+
+        async def scenario():
+            await manager.start()
+            job, _ = manager.submit(request)
+            await asyncio.get_running_loop().run_in_executor(
+                None, block.started.wait, 10.0)
+            clean = await manager.drain(grace_s=0.1)
+            assert not clean
+            # the unfinished job's journal entry survives for restart
+            assert manager._journal_path(job.key).exists()
+            block.release.set()
+
+        run(scenario())
+
+    def test_resume_journal_re_admits(self):
+        store = ArtifactStore()
+        request = JobRequest("pipeline", {"flows": 200})
+        # a manager admits (journals) the job but is killed before any
+        # worker runs it: submit without start()
+        killed = JobManager(store=store)
+        admitted, disposition = killed.submit(request)
+        assert disposition == "queued"
+        assert killed._journal_path(admitted.key).exists()
+
+        revived = JobManager(store=store, concurrency=1)
+
+        async def scenario():
+            resumed = await revived.start()
+            assert len(resumed) == 1
+            job = resumed[0]
+            assert job.request == request
+            await wait_terminal(job)
+            assert job.state == JobState.DONE
+            assert job.summary["total"] == 200
+            await revived.drain(grace_s=5.0)
+            return job
+
+        job = run(scenario())
+        assert not revived._journal_path(job.key).exists()
+
+    def test_resume_drops_corrupt_journal(self, tmp_path):
+        store = ArtifactStore()
+        journal_dir = store.root / "serve" / "journal"
+        journal_dir.mkdir(parents=True)
+        bad = journal_dir / "deadbeef.json"
+        bad.write_text("{not json")
+        manager = JobManager(store=store)
+        assert manager.resume_journal() == []
+        assert not bad.exists()

@@ -1,0 +1,125 @@
+"""Wire-protocol unit tests: request validation, fingerprints, jobs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.protocol import Job, JobRequest, JobState
+
+
+class TestJobRequestValidation:
+    def test_minimal_request(self):
+        req = JobRequest("pipeline")
+        assert req.params == {}
+        assert req.priority == 5
+        assert req.client == "anonymous"
+
+    @pytest.mark.parametrize("kind", ["", None, 3, ["campaign"]])
+    def test_bad_kind(self, kind):
+        with pytest.raises(ConfigError):
+            JobRequest(kind)
+
+    @pytest.mark.parametrize("priority", [-1, 10, 2.5, "5", True])
+    def test_bad_priority(self, priority):
+        with pytest.raises(ConfigError):
+            JobRequest("pipeline", priority=priority)
+
+    @pytest.mark.parametrize("client", ["", None, "x" * 121])
+    def test_bad_client(self, client):
+        with pytest.raises(ConfigError):
+            JobRequest("pipeline", client=client)
+
+    def test_params_must_be_mapping(self):
+        with pytest.raises(ConfigError):
+            JobRequest("pipeline", params=[("flows", 10)])
+
+    def test_non_canonical_params_rejected_at_admission(self):
+        with pytest.raises(Exception):
+            JobRequest("pipeline", params={"flows": object()})
+
+
+class TestFromDict:
+    def test_round_trip(self):
+        req = JobRequest("campaign", {"n_paths": 4}, priority=2,
+                         client="ci")
+        assert JobRequest.from_dict(req.to_dict()) == req
+
+    def test_missing_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            JobRequest.from_dict({"params": {}})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigError, match="bogus"):
+            JobRequest.from_dict({"kind": "pipeline", "bogus": 1})
+
+    def test_non_object_body(self):
+        with pytest.raises(ConfigError):
+            JobRequest.from_dict([1, 2, 3])
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = JobRequest("pipeline", {"flows": 100, "seed": 1})
+        b = JobRequest("pipeline", {"seed": 1, "flows": 100})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_kind_and_params_participate(self):
+        base = JobRequest("pipeline", {"flows": 100})
+        assert base.fingerprint() != \
+            JobRequest("campaign", {"flows": 100}).fingerprint()
+        assert base.fingerprint() != \
+            JobRequest("pipeline", {"flows": 200}).fingerprint()
+
+    def test_priority_and_client_excluded(self):
+        a = JobRequest("pipeline", {"flows": 100}, priority=0,
+                       client="alice")
+        b = JobRequest("pipeline", {"flows": 100}, priority=9,
+                       client="bob")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_workers_excluded(self):
+        """The determinism contract makes results worker-count
+        invariant, so ``workers`` must share one cache entry."""
+        a = JobRequest("campaign", {"n_paths": 4, "workers": 1})
+        b = JobRequest("campaign", {"n_paths": 4, "workers": 8})
+        c = JobRequest("campaign", {"n_paths": 4})
+        assert a.fingerprint() == b.fingerprint() == c.fingerprint()
+
+
+class TestJob:
+    def _job(self):
+        req = JobRequest("pipeline", {"flows": 10})
+        return Job(request=req, key=req.fingerprint(), created=100.0)
+
+    def test_auto_id_is_unique(self):
+        a, b = self._job(), self._job()
+        assert a.id != b.id
+        assert a.key[:8] in a.id
+
+    def test_transition_stamps_and_versions(self):
+        job = self._job()
+        v0 = job.version
+        job.transition(JobState.RUNNING, 101.0)
+        assert job.started == 101.0 and not job.terminal
+        job.transition(JobState.DONE, 105.0)
+        assert job.finished == 105.0 and job.terminal
+        assert job.version == v0 + 2
+        # terminal stamps never move
+        job.transition(JobState.DONE, 999.0)
+        assert job.finished == 105.0
+
+    def test_to_dict_summary_only_when_terminal(self):
+        job = self._job()
+        job.summary = {"total": 10}
+        assert "summary" not in job.to_dict()
+        job.transition(JobState.DONE, 1.0)
+        assert job.to_dict()["summary"] == {"total": 10}
+
+    def test_to_dict_error_fields(self):
+        job = self._job()
+        assert "error" not in job.to_dict()
+        job.error, job.error_type = "boom", "RuntimeError"
+        job.transition(JobState.FAILED, 1.0)
+        doc = job.to_dict()
+        assert doc["error"] == "boom"
+        assert doc["error_type"] == "RuntimeError"
+        assert doc["state"] == "failed"
