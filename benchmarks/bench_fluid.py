@@ -1,0 +1,192 @@
+"""B6: fluid vs packet backend -- speedup and regression gate.
+
+Runs the same calibrated-envelope reference scenario (reno cross
+traffic, 48 Mbit/s / 50 ms, droptail, 20 s, seed 1 -- an elastic
+envelope cell) on both backends, plus a raw engine event-throughput
+microbenchmark and a fluid envelope sweep, and writes ``BENCH_6.json``:
+
+* ``packet_scenario_s`` / ``fluid_scenario_s`` / ``speedup``
+* ``packet_events_per_s`` -- full-stack packet simulation rate
+* ``engine_events_per_s`` -- bare event loop dispatch rate
+* ``fluid_scenarios_per_s`` -- envelope cells per second, fluid
+* ``verdict_agreement`` -- both backends call the reference cell
+
+``--check`` compares against the committed baseline
+(``benchmarks/BENCH_6_baseline.json``) and exits non-zero when
+
+* the fluid speedup falls below 10x (within-run ratio, so CI machine
+  speed cancels out), or
+* the packet stack's *normalized* event throughput -- scenario events
+  per bare engine event, a machine-relative ratio -- drops more than
+  20% below the baseline's, or
+* the backends disagree on the reference verdict.
+
+``--write-baseline`` refreshes the committed baseline from a new run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_6_baseline.json"
+RESULT = Path(__file__).resolve().parent.parent / "BENCH_6.json"
+
+#: The reference cell (from ``repro.experiments.envelope``): elastic,
+#: heavy enough on the packet backend to time meaningfully.
+REFERENCE = dict(family="probe", rate_mbps=48.0, rtt_ms=50.0,
+                 qdisc="droptail", duration=20.0, seed=1,
+                 cross_traffic="reno")
+
+MIN_SPEEDUP = 10.0
+MAX_NORMALIZED_DROP = 0.20
+
+
+def bench_engine_events(target: int = 400_000, repeats: int = 3) -> float:
+    """Bare event-loop throughput (events/second), best of ``repeats``."""
+    from repro.sim.engine import Simulator
+
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator()
+        stop = target // 10
+
+        def chain(sim=sim, stop=stop):
+            if sim.events_processed < stop:
+                sim.call_later(1e-5, chain)
+
+        for _ in range(10):
+            sim.call_later(0.0, chain)
+        t0 = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        best = max(best, sim.events_processed / elapsed)
+    return best
+
+
+def run_reference(backend: str):
+    from repro.qa.scenario import Scenario, run_scenario
+
+    scenario = Scenario(backend=backend, **REFERENCE)
+    t0 = time.perf_counter()
+    outcome = run_scenario(scenario, check_invariants=False)
+    elapsed = time.perf_counter() - t0
+    return elapsed, outcome
+
+
+def bench_fluid_sweep() -> float:
+    """Fluid envelope cells per second (serial)."""
+    from repro.experiments.envelope import run
+
+    result = run(backend="fluid", workers=1)
+    return result.metrics["scenarios_per_s"]
+
+
+def measure() -> dict:
+    engine_eps = bench_engine_events()
+    packet_s, packet_out = run_reference("packet")
+    # The fluid run is fast enough to repeat; keep the best.
+    fluid_s = float("inf")
+    for _ in range(3):
+        elapsed, fluid_out = run_reference("fluid")
+        fluid_s = min(fluid_s, elapsed)
+    agreement = (bool(packet_out.probe["contending"])
+                 == bool(fluid_out.probe["contending"]))
+    return {
+        "reference": REFERENCE,
+        "engine_events_per_s": round(engine_eps, 1),
+        "packet_scenario_s": round(packet_s, 3),
+        "packet_events_per_s": round(
+            packet_out.events_processed / packet_s, 1),
+        "fluid_scenario_s": round(fluid_s, 4),
+        "speedup": round(packet_s / fluid_s, 2),
+        "fluid_scenarios_per_s": round(bench_fluid_sweep(), 2),
+        "packet_contending": bool(packet_out.probe["contending"]),
+        "fluid_contending": bool(fluid_out.probe["contending"]),
+        "verdict_agreement": agreement,
+    }
+
+
+def check(result: dict) -> list[str]:
+    problems = []
+    if result["speedup"] < MIN_SPEEDUP:
+        problems.append(f"fluid speedup {result['speedup']:.1f}x "
+                        f"< required {MIN_SPEEDUP:.0f}x")
+    if not result["verdict_agreement"]:
+        problems.append(
+            "backends disagree on the reference cell: packet "
+            f"contending={result['packet_contending']} vs fluid "
+            f"contending={result['fluid_contending']}")
+    if BASELINE.exists():
+        with open(BASELINE) as f:
+            base = json.load(f)
+        base_norm = (base["packet_events_per_s"]
+                     / base["engine_events_per_s"])
+        norm = (result["packet_events_per_s"]
+                / result["engine_events_per_s"])
+        floor = base_norm * (1.0 - MAX_NORMALIZED_DROP)
+        if norm < floor:
+            problems.append(
+                f"packet stack throughput regressed: "
+                f"{result['packet_events_per_s']:.0f} scenario-events/s "
+                f"at {result['engine_events_per_s']:.0f} raw events/s "
+                f"(normalized {norm:.4f}) < {floor:.4f} "
+                f"(baseline {base_norm:.4f} - 20%)")
+    else:
+        problems.append(f"no baseline at {BASELINE} (run "
+                        "--write-baseline first)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="fail on speedup/regression thresholds "
+                             "against the committed baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help=f"refresh {BASELINE.name} from this run")
+    parser.add_argument("--out", default=str(RESULT),
+                        help="result JSON path (default: BENCH_6.json)")
+    args = parser.parse_args(argv)
+
+    result = measure()
+    out = Path(args.out)
+    with open(out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print(f"engine:  {result['engine_events_per_s']:>12,.0f} events/s "
+          "(bare loop)")
+    print(f"packet:  {result['packet_scenario_s']:>9.2f} s/scenario  "
+          f"{result['packet_events_per_s']:>12,.0f} events/s")
+    print(f"fluid:   {result['fluid_scenario_s']:>9.3f} s/scenario  "
+          f"{result['fluid_scenarios_per_s']:.2f} envelope cells/s")
+    print(f"speedup: {result['speedup']:.1f}x   verdict agreement: "
+          f"{result['verdict_agreement']}")
+    print(f"wrote {out}")
+
+    if args.write_baseline:
+        with open(BASELINE, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {BASELINE}")
+
+    if args.check:
+        problems = check(result)
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print("check passed: speedup >= "
+              f"{MIN_SPEEDUP:.0f}x, packet throughput within 20% of "
+              "baseline, verdicts agree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

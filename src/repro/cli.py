@@ -63,6 +63,7 @@ SMOKE_PARAMS: dict[str, dict] = {
     "bwe_isolation": {"duration": 8.0},
     "cellular_robustness": {"duration": 20.0,
                             "volatilities": (0.0, 0.1)},
+    "envelope": {"backend": "fluid"},
 }
 
 
@@ -132,6 +133,12 @@ def _resolve_experiment(args):
             params["resume"] = True
         else:
             print(f"note: {args.experiment} takes no resume; ignoring",
+                  file=sys.stderr)
+    if getattr(args, "backend", None) is not None:
+        if "backend" in accepted:
+            params["backend"] = args.backend
+        else:
+            print(f"note: {args.experiment} takes no backend; ignoring",
                   file=sys.stderr)
     return run_fn, params
 
@@ -568,6 +575,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--workers", type=int,
                        help="worker processes for parallel experiments "
                             "(default: $REPRO_WORKERS, then CPU count)")
+    p_run.add_argument("--backend", choices=("packet", "fluid"),
+                       help="simulation backend for experiments that "
+                            "accept one (fluid = rate-based fast path, "
+                            "20-50x faster; see DESIGN.md)")
     add_cache_flags(p_run)
     add_json_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
@@ -584,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reduced parameters, seconds not minutes")
     p_trace.add_argument("--seed", type=int)
     p_trace.add_argument("--workers", type=int)
+    p_trace.add_argument("--backend", choices=("packet", "fluid"))
     add_cache_flags(p_trace)
     add_json_flag(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
@@ -597,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="reduced parameters, seconds not minutes")
     p_metrics.add_argument("--seed", type=int)
     p_metrics.add_argument("--workers", type=int)
+    p_metrics.add_argument("--backend", choices=("packet", "fluid"))
     add_cache_flags(p_metrics)
     add_json_flag(p_metrics)
     p_metrics.set_defaults(fn=cmd_metrics)

@@ -209,8 +209,21 @@ def sample_paths(n_paths: int, seed: int = 0,
 
 def run_path(spec: PathSpec, duration: float = 30.0,
              detector: ContentionDetector | None = None,
-             capacity_hint: bool = True) -> PathResult:
-    """Run one probe over one path."""
+             capacity_hint: bool = True,
+             backend: str = "packet") -> PathResult:
+    """Run one probe over one path.
+
+    ``backend`` selects the simulation engine: ``"packet"`` (the
+    event-driven reference) or ``"fluid"`` (the O(flows)-per-tick
+    rate-based model in :mod:`repro.fluid` -- same result types,
+    20-50x faster; see DESIGN.md for its validity envelope).
+    """
+    if backend == "fluid":
+        from ..fluid import run_path_fluid
+        return run_path_fluid(spec, duration=duration, detector=detector,
+                              capacity_hint=capacity_hint)
+    if backend != "packet":
+        raise ConfigError(f"unknown backend {backend!r}")
     det = detector if detector is not None else ContentionDetector()
     sim = Simulator()
     rate = mbps(spec.rate_mbps)
@@ -251,21 +264,30 @@ class Campaign:
                  duration: float = 30.0,
                  detector: ContentionDetector | None = None,
                  fq_fraction: float = 0.3,
-                 cross_traffic_mix=None):
+                 cross_traffic_mix=None,
+                 backend: str = "packet"):
+        if backend not in ("packet", "fluid"):
+            raise ConfigError(f"unknown backend {backend!r}")
         kwargs = {}
         if cross_traffic_mix is not None:
             kwargs["cross_traffic_mix"] = cross_traffic_mix
         self.specs = sample_paths(n_paths, seed=seed,
                                   fq_fraction=fq_fraction, **kwargs)
         self.duration = duration
+        self.backend = backend
         self.detector = detector if detector is not None \
             else ContentionDetector()
 
     # -- store fingerprints ----------------------------------------------
 
     def _task_config(self, spec: PathSpec) -> dict:
-        return {"spec": spec, "duration": self.duration,
-                "detector": self.detector.fingerprint_config()}
+        config = {"spec": spec, "duration": self.duration,
+                  "detector": self.detector.fingerprint_config()}
+        # The packet backend is the historical default; omitting the
+        # key keeps every pre-fluid cache entry addressable.
+        if self.backend != "packet":
+            config["backend"] = self.backend
+        return config
 
     def path_key(self, spec: PathSpec) -> str:
         """The store fingerprint of one path's full task config."""
@@ -276,10 +298,11 @@ class Campaign:
         """The whole campaign's config fingerprint (names the
         checkpoint manifest)."""
         from ..store import fingerprint
-        return fingerprint(
-            {"specs": list(self.specs), "duration": self.duration,
-             "detector": self.detector.fingerprint_config()},
-            kind="campaign")
+        config = {"specs": list(self.specs), "duration": self.duration,
+                  "detector": self.detector.fingerprint_config()}
+        if self.backend != "packet":
+            config["backend"] = self.backend
+        return fingerprint(config, kind="campaign")
 
     # -- execution -------------------------------------------------------
 
@@ -316,7 +339,8 @@ class Campaign:
                 (store runs only; default :class:`FaultPolicy`).
         """
         job = functools.partial(run_path, duration=self.duration,
-                                detector=self.detector)
+                                detector=self.detector,
+                                backend=self.backend)
         if store is _AUTO:
             from ..store import active_store
             store = active_store()

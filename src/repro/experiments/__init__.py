@@ -12,12 +12,14 @@
 ``tslp_vs_elasticity``  E9: TSLP finds congestion, not contention (§4)
 ``bwe_isolation``    E10: BwE-style central allocation eliminates contention (§2.1)
 ``cellular_robustness``  E11: probe robustness on variable-rate links (§2.3)
+``envelope``    E12: the detector's calibrated envelope on either backend
 ==============  ===========================================================
 """
 
 from . import (access_link, bwe_isolation, campaign_eval,
-               cellular_robustness, fairness_matrix, fig2, fig3,
-               fq_ablation, subpacket, tbf_jitter, tslp_vs_elasticity)
+               cellular_robustness, envelope, fairness_matrix, fig2,
+               fig3, fq_ablation, subpacket, tbf_jitter,
+               tslp_vs_elasticity)
 from .runner import ExperimentResult, Stopwatch, sweep
 
 #: Experiment registry for the CLI.
@@ -33,9 +35,11 @@ EXPERIMENTS = {
     "tslp_vs_elasticity": tslp_vs_elasticity.run,
     "bwe_isolation": bwe_isolation.run,
     "cellular_robustness": cellular_robustness.run,
+    "envelope": envelope.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "Stopwatch", "sweep",
            "fig2", "fig3", "fq_ablation", "tbf_jitter", "subpacket",
            "fairness_matrix", "campaign_eval", "access_link",
-           "tslp_vs_elasticity", "bwe_isolation", "cellular_robustness"]
+           "tslp_vs_elasticity", "bwe_isolation",
+           "cellular_robustness", "envelope"]

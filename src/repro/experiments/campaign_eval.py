@@ -35,7 +35,8 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
         fq_fraction: float = 0.3,
         roc_thresholds: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0, 6.0, 9.0),
         workers: int | None = None,
-        resume: bool = False) -> ExperimentResult:
+        resume: bool = False,
+        backend: str = "packet") -> ExperimentResult:
     """Run the campaign and evaluate the hypothesis.
 
     ``workers`` fans the per-path probe simulations out over processes
@@ -44,12 +45,15 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
     (``repro run`` without ``--no-cache``, or ``REPRO_CACHE=1``),
     completed paths are cached and checkpointed; ``resume`` addition-
     ally skips paths a prior interrupted run quarantined as failing.
+    ``backend`` selects "packet" (the event-driven reference) or
+    "fluid" (20-50x faster; see DESIGN.md for the validity envelope).
     """
     with Stopwatch() as watch:
         campaign = Campaign(n_paths=n_paths, seed=seed,
                             duration=duration,
-                            fq_fraction=fq_fraction).run(workers=workers,
-                                                         resume=resume)
+                            fq_fraction=fq_fraction,
+                            backend=backend).run(workers=workers,
+                                                 resume=resume)
         evaluation = evaluate_hypothesis(campaign)
         roc = _roc_rows(campaign, roc_thresholds)
         groups = campaign.by_cross_traffic()
@@ -129,6 +133,7 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
         tables={"paths": path_rows, "roc": roc,
                 "by_cross_traffic": group_rows},
         params={"n_paths": n_paths, "duration": duration, "seed": seed,
-                "fq_fraction": fq_fraction, "workers": workers},
+                "fq_fraction": fq_fraction, "workers": workers,
+                "backend": backend},
         elapsed_s=watch.elapsed,
     )

@@ -1,0 +1,24 @@
+"""Rate-based (fluid) simulation backend.
+
+The packet engine simulates every packet; this backend evolves per-flow
+*sending rates* and a shared bottleneck queue with a fixed time step,
+which makes one scenario cost O(flows) per tick instead of O(packets).
+It produces the same observable surfaces as the packet backend -- a
+:class:`~repro.qa.scenario.ScenarioOutcome` with a probe verdict, a
+:class:`~repro.core.campaign.PathResult` with a
+:class:`~repro.core.probe.ProbeReport` -- so campaigns, figures, the
+store, and the HTTP service run unchanged with ``backend="fluid"``.
+
+Where it is valid (and where it is not) is documented in DESIGN.md
+("The fluid backend"); the short version is that it models steady-state
+rate dynamics on ~10 ms-and-up timescales faithfully, and does not
+model packetization, ACK clocking, slow-start bursts, or
+sub-millisecond queue transients.  The :mod:`repro.qa` agreement
+oracle cross-checks its verdicts against the packet engine on the
+calibrated scenario envelope.
+"""
+
+from .model import FluidModel
+from .runner import run_path_fluid, run_scenario_fluid
+
+__all__ = ["FluidModel", "run_path_fluid", "run_scenario_fluid"]

@@ -1,0 +1,107 @@
+"""The fluid tick loop: flows + bottleneck, O(flows) per tick.
+
+:class:`FluidModel` owns a set of :class:`~repro.fluid.flows.FluidFlow`
+objects and one bottleneck from :mod:`repro.fluid.queue`.  Each tick
+(default 5 ms) it collects every flow's sending rate into a numpy
+vector, pushes the resulting byte cohort through the bottleneck, and
+feeds each flow its service rate, the queueing delay, and edge-
+triggered loss/mark signals.  There is no event heap, no packets, and
+no per-packet Python work -- a 20-second scenario is 4000 ticks
+regardless of link speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import DEFAULT_PACKET_SIZE
+from .flows import Feedback, FluidFlow
+from .queue import FairBottleneck, build_bottleneck
+
+#: Default integration step (seconds): well below the shortest pulse
+#: period (200 ms at f_p = 5 Hz) and the smallest base RTT (20 ms).
+DEFAULT_DT = 0.005
+
+
+class FluidModel:
+    """Fixed-step fluid simulation of one bottleneck.
+
+    Args:
+        flows: the flows sharing the bottleneck (order fixes the
+            vector index).
+        rate: bottleneck link rate (bytes/second).
+        buffer_bytes: bottleneck buffer (bytes).
+        qdisc: one of :data:`repro.qa.scenario.QDISC_NAMES`.
+        dt: integration step (seconds).
+        ecn: bottleneck marks instead of early-dropping (RED only).
+    """
+
+    def __init__(self, flows: list[FluidFlow], rate: float,
+                 buffer_bytes: float, qdisc: str = "droptail",
+                 dt: float = DEFAULT_DT, ecn: bool = False):
+        if not flows:
+            raise ConfigError("fluid model needs at least one flow")
+        if dt <= 0:
+            raise ConfigError(f"dt must be positive: {dt}")
+        self.flows = list(flows)
+        self.rate = rate
+        self.dt = dt
+        self.bottleneck, self.effective_rate = build_bottleneck(
+            qdisc, len(flows), rate, buffer_bytes, ecn=ecn)
+        self._fair = isinstance(self.bottleneck, FairBottleneck)
+        self.now = 0.0
+        self.ticks = 0
+        # Per-flow smoothed service rate, for fair-queue sojourns.
+        self._svc_smoothed = np.zeros(len(flows))
+
+    def run(self, duration: float) -> None:
+        """Advance the model to ``duration`` seconds."""
+        dt = self.dt
+        flows = self.flows
+        n = len(flows)
+        rates = np.zeros(n)
+        steps = int(round((duration - self.now) / dt))
+        for _ in range(steps):
+            now = self.now
+            for i, flow in enumerate(flows):
+                rates[i] = flow.rate if now >= flow.start else 0.0
+            result = self.bottleneck.tick(rates * dt, dt)
+            served = result.served
+            self._svc_smoothed += 0.2 * (served / dt - self._svc_smoothed)
+            for i, flow in enumerate(flows):
+                if now < flow.start:
+                    continue
+                if self._fair:
+                    q_delay = self.bottleneck.flow_delay(
+                        i, self._svc_smoothed[i])
+                else:
+                    q_delay = result.queue_delay
+                flow.advance(now, dt, Feedback(
+                    delivered_rate=served[i] / dt,
+                    queue_delay=q_delay,
+                    loss=result.dropped[i] > 0.0,
+                    ecn_mark=result.marked[i] > 0.0))
+            self.now = now + dt
+            self.ticks += 1
+
+    def qdisc_stats(self) -> dict[str, float]:
+        """Counters shaped like ``ScenarioOutcome.qdisc_stats``.
+
+        Packet counts are byte totals over the reference packet size;
+        they are self-consistent (enqueued = dequeued + residual) and
+        deterministic, not packet-accurate.
+        """
+        b = self.bottleneck
+        size = float(DEFAULT_PACKET_SIZE)
+        residual = b.backlog
+        return {
+            "enqueued": round(b.accepted_bytes / size, 3),
+            "dequeued": round(b.served_bytes / size, 3),
+            "dequeued_bytes": round(b.served_bytes, 3),
+            "drops": round(b.dropped_bytes / size, 3),
+            "dropped_bytes": round(b.dropped_bytes, 3),
+            "marks": round(b.marked_bytes / size, 3),
+            "residual_packets": round(residual / size, 3),
+            "residual_bytes": round(residual, 3),
+        }

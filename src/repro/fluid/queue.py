@@ -1,0 +1,304 @@
+"""Fluid bottleneck models for the eight qdisc archetypes.
+
+The workhorse is :class:`FifoBottleneck`: arrivals are stored as
+per-tick *cohorts* (numpy vectors over flows) and service drains
+cohorts strictly in order, so the service composition at time ``t``
+equals the arrival composition at time ``t - queue_delay`` -- the
+property that makes the Nimbus ẑ estimator read the *cross* arrival
+rate rather than an echo of the probe's own pulse.  Tail drop removes
+bytes from the newest (arriving) cohort, which is exactly what a
+droptail queue does.
+
+Fair queueing (``fq``/``sfq``) keeps per-flow backlogs and serves them
+by water-filling; shapers (``tbf``/``policer``) run the FIFO at 90% of
+the link rate, matching :func:`repro.qa.scenario.build_qdisc`; ``htb``
+with a single active class borrows up to the full rate and degenerates
+to FIFO.  AQMs (``red``/``codel``) layer early-drop/mark signals on
+the FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import DEFAULT_PACKET_SIZE
+
+
+class TickResult:
+    """What one service tick did, flow-indexed numpy vectors."""
+
+    __slots__ = ("served", "dropped", "marked", "queue_delay")
+
+    def __init__(self, served: np.ndarray, dropped: np.ndarray,
+                 marked: np.ndarray, queue_delay: float):
+        self.served = served
+        self.dropped = dropped
+        self.marked = marked
+        self.queue_delay = queue_delay
+
+
+class FifoBottleneck:
+    """Shared FIFO with cohort-accurate composition delay.
+
+    Args:
+        n_flows: number of flows (vector dimension).
+        rate: service rate (bytes/second).
+        buffer_bytes: tail-drop limit on total backlog.
+    """
+
+    def __init__(self, n_flows: int, rate: float, buffer_bytes: float):
+        if rate <= 0 or buffer_bytes <= 0:
+            raise ConfigError("need positive rate and buffer")
+        self.n = n_flows
+        self.rate = rate
+        self.buffer_bytes = buffer_bytes
+        self._cohorts: deque[tuple[float, np.ndarray]] = deque()
+        self.backlog = 0.0
+        self.accepted_bytes = 0.0
+        self.served_bytes = 0.0
+        self.dropped_bytes = 0.0
+        self.marked_bytes = 0.0
+
+    # Subclass hook: fraction of arriving bytes to early-drop (RED) or
+    # an ECN share to mark; the base FIFO never early-drops.
+    def _early_action(self, arrivals: np.ndarray, dt: float
+                      ) -> tuple[float, float]:
+        return 0.0, 0.0
+
+    def tick(self, arrivals: np.ndarray, dt: float) -> TickResult:
+        dropped = np.zeros(self.n)
+        marked = np.zeros(self.n)
+        total_in = float(arrivals.sum())
+        accepted = arrivals
+        if total_in > 0.0:
+            drop_frac, mark_frac = self._early_action(arrivals, dt)
+            if mark_frac > 0.0:
+                marked += arrivals * mark_frac
+                self.marked_bytes += total_in * mark_frac
+            if drop_frac > 0.0:
+                dropped += arrivals * drop_frac
+                accepted = arrivals * (1.0 - drop_frac)
+                total_in = float(accepted.sum())
+            # Tail drop: whatever exceeds the buffer comes out of the
+            # arriving cohort, proportionally across its flows.
+            space = self.buffer_bytes - self.backlog
+            if total_in > space:
+                keep = max(0.0, space) / total_in
+                dropped += accepted * (1.0 - keep)
+                accepted = accepted * keep
+                total_in = float(accepted.sum())
+            if total_in > 0.0:
+                self._cohorts.append((total_in, accepted))
+                self.backlog += total_in
+                self.accepted_bytes += total_in
+        drop_total = float(dropped.sum())
+        if drop_total > 0.0:
+            self.dropped_bytes += drop_total
+
+        served = np.zeros(self.n)
+        budget = self.rate * dt
+        cohorts = self._cohorts
+        while budget > 1e-9 and cohorts:
+            size, vec = cohorts[0]
+            if size <= budget:
+                served += vec
+                budget -= size
+                self.backlog -= size
+                cohorts.popleft()
+            else:
+                frac = budget / size
+                served += vec * frac
+                remaining = vec * (1.0 - frac)
+                cohorts[0] = (size - budget, remaining)
+                self.backlog -= budget
+                budget = 0.0
+        self.backlog = max(0.0, self.backlog)
+        self.served_bytes += float(served.sum())
+        return TickResult(served, dropped, marked,
+                          self.backlog / self.rate)
+
+
+class RedBottleneck(FifoBottleneck):
+    """FIFO plus RED-style early drop/mark on an EWMA of occupancy."""
+
+    def __init__(self, n_flows: int, rate: float, buffer_bytes: float,
+                 ecn: bool = False):
+        super().__init__(n_flows, rate, buffer_bytes)
+        self.min_thresh = buffer_bytes / 4.0
+        self.max_thresh = 3.0 * buffer_bytes / 4.0
+        self.max_p = 0.1
+        self.ecn = ecn
+        self._avg = 0.0
+
+    def _early_action(self, arrivals: np.ndarray, dt: float
+                      ) -> tuple[float, float]:
+        self._avg += 0.1 * (self.backlog - self._avg)
+        if self._avg <= self.min_thresh:
+            return 0.0, 0.0
+        if self._avg >= self.max_thresh:
+            p = self.max_p
+        else:
+            p = self.max_p * ((self._avg - self.min_thresh)
+                              / (self.max_thresh - self.min_thresh))
+        return (0.0, p) if self.ecn else (p, 0.0)
+
+
+class CodelBottleneck(FifoBottleneck):
+    """FIFO plus CoDel-style drops while sojourn exceeds the target."""
+
+    TARGET = 0.005
+    INTERVAL = 0.1
+
+    def __init__(self, n_flows: int, rate: float, buffer_bytes: float):
+        super().__init__(n_flows, rate, buffer_bytes)
+        self._above_since: float | None = None
+        self._drops = 0
+        self._clock = 0.0
+
+    def _early_action(self, arrivals: np.ndarray, dt: float
+                      ) -> tuple[float, float]:
+        self._clock += dt
+        sojourn = self.backlog / self.rate
+        if sojourn <= self.TARGET:
+            self._above_since = None
+            self._drops = 0
+            return 0.0, 0.0
+        if self._above_since is None:
+            self._above_since = self._clock
+            return 0.0, 0.0
+        interval = self.INTERVAL / max(1.0, self._drops) ** 0.5
+        if self._clock - self._above_since >= interval:
+            self._above_since = self._clock
+            self._drops += 1
+            # Drop roughly one packet's worth out of this tick.
+            total = float(arrivals.sum())
+            if total > 0.0:
+                return min(1.0, DEFAULT_PACKET_SIZE / total), 0.0
+        return 0.0, 0.0
+
+
+class FairBottleneck:
+    """Per-flow queues served by water-filling (``fq``/``sfq``).
+
+    Composition delay is per-flow and, for an isolated flow, identical
+    to a FIFO of its own backlog, so the probe's ẑ alignment carries
+    over with the flow's own queue delay.
+    """
+
+    def __init__(self, n_flows: int, rate: float, buffer_bytes: float):
+        if rate <= 0 or buffer_bytes <= 0:
+            raise ConfigError("need positive rate and buffer")
+        self.n = n_flows
+        self.rate = rate
+        self.buffer_bytes = buffer_bytes
+        self.queues = np.zeros(n_flows)
+        self.accepted_bytes = 0.0
+        self.served_bytes = 0.0
+        self.dropped_bytes = 0.0
+        self.marked_bytes = 0.0
+
+    @property
+    def backlog(self) -> float:
+        return float(self.queues.sum())
+
+    def tick(self, arrivals: np.ndarray, dt: float) -> TickResult:
+        dropped = np.zeros(self.n)
+        self.queues += arrivals
+        self.accepted_bytes += float(arrivals.sum())
+        # Overflow drops from the longest queue (DRR semantics).
+        overflow = self.backlog - self.buffer_bytes
+        while overflow > 1e-9:
+            i = int(self.queues.argmax())
+            cut = min(overflow, self.queues[i])
+            self.queues[i] -= cut
+            dropped[i] += cut
+            overflow -= cut
+        drop_total = float(dropped.sum())
+        if drop_total > 0.0:
+            self.dropped_bytes += drop_total
+            self.accepted_bytes -= drop_total
+
+        served = np.zeros(self.n)
+        budget = self.rate * dt
+        while budget > 1e-9:
+            active = np.flatnonzero(self.queues > 1e-9)
+            if active.size == 0:
+                break
+            share = budget / active.size
+            take = np.minimum(self.queues[active], share)
+            self.queues[active] -= take
+            served[active] += take
+            spent = float(take.sum())
+            if spent <= 1e-12:
+                break
+            budget -= spent
+        self.served_bytes += float(served.sum())
+        # Queue delay as seen by a flow at its fair share: total
+        # backlog over rate is wrong under isolation, so report the
+        # *maximum per-flow* sojourn (the probe reads its own via
+        # per-flow service; the model uses this only for RTT inflation,
+        # which water-filling applies per flow below).
+        delay = float(self.queues.max()) / self.rate * \
+            max(1, int((self.queues > 1e-9).sum()))
+        return TickResult(served, dropped, np.zeros(self.n), delay)
+
+    def flow_delay(self, i: int, recent_rate: float) -> float:
+        """Sojourn of flow ``i``'s backlog at its recent service rate."""
+        if recent_rate <= 0.0:
+            return 0.0
+        return float(self.queues[i]) / recent_rate
+
+
+class PolicerBottleneck:
+    """Rate policer: no queue, excess arrivals are dropped."""
+
+    def __init__(self, n_flows: int, rate: float):
+        if rate <= 0:
+            raise ConfigError("need positive rate")
+        self.n = n_flows
+        self.rate = rate
+        self.backlog = 0.0
+        self.accepted_bytes = 0.0
+        self.served_bytes = 0.0
+        self.dropped_bytes = 0.0
+        self.marked_bytes = 0.0
+
+    def tick(self, arrivals: np.ndarray, dt: float) -> TickResult:
+        total = float(arrivals.sum())
+        budget = self.rate * dt
+        if total <= budget or total <= 0.0:
+            served = arrivals.copy()
+            dropped = np.zeros(self.n)
+        else:
+            keep = budget / total
+            served = arrivals * keep
+            dropped = arrivals * (1.0 - keep)
+            self.dropped_bytes += float(dropped.sum())
+        got = float(served.sum())
+        self.accepted_bytes += got
+        self.served_bytes += got
+        return TickResult(served, dropped, np.zeros(self.n), 0.0)
+
+
+def build_bottleneck(qdisc: str, n_flows: int, rate: float,
+                     buffer_bytes: float, ecn: bool = False):
+    """Fluid bottleneck for one :data:`repro.qa.scenario.QDISC_NAMES`
+    entry.  Returns ``(bottleneck, effective_rate)``."""
+    if qdisc in ("droptail", "htb"):
+        return FifoBottleneck(n_flows, rate, buffer_bytes), rate
+    if qdisc == "red":
+        return RedBottleneck(n_flows, rate, buffer_bytes, ecn=ecn), rate
+    if qdisc == "codel":
+        return CodelBottleneck(n_flows, rate, buffer_bytes), rate
+    if qdisc in ("fq", "sfq"):
+        return FairBottleneck(n_flows, rate, buffer_bytes), rate
+    if qdisc == "tbf":
+        eff = 0.9 * rate
+        return FifoBottleneck(n_flows, eff, buffer_bytes), eff
+    if qdisc == "policer":
+        eff = 0.9 * rate
+        return PolicerBottleneck(n_flows, eff), eff
+    raise ConfigError(f"no fluid model for qdisc {qdisc!r}")

@@ -47,7 +47,7 @@ from .scenario import Scenario, ScenarioOutcome
 FAULT_ENV = "REPRO_QA_FAULT"
 
 #: Bump to invalidate cached fuzz verdicts when oracle semantics change.
-SUITE_VERSION = 1
+SUITE_VERSION = 2
 
 #: One MTU-ish slack unit for byte-level tolerances.
 _MTU = 1514
@@ -304,6 +304,62 @@ class InelasticCrossOracle(Oracle):
         return []
 
 
+class FluidPacketAgreementOracle(Oracle):
+    """The fluid backend agrees with the packet backend where both are
+    calibrated: on envelope cells the contention verdict must match,
+    and the probe's share of delivered bytes must be within 0.25
+    (absolute) of the packet run's.
+
+    Applies only inside the calibrated envelope (probe family,
+    droptail, >= 18 s) where the packet verdict is deterministic
+    ground truth; outside it both backends have documented gray zones
+    and a disagreement is not a bug.  Only packet-backend scenarios
+    re-run on fluid (not the reverse) so the oracle never doubles the
+    expensive direction.
+    """
+
+    name = "fluid-packet-agreement"
+    period = 4
+    corpus_replay = False
+
+    def applies(self, scenario) -> bool:
+        cell = _probe_cell(scenario)
+        return (scenario.backend == "packet"
+                and scenario.family == "probe"
+                and scenario.qdisc == "droptail"
+                and scenario.duration >= 18.0
+                and (cell in _ELASTIC_ENVELOPE
+                     or cell in _INELASTIC_ENVELOPE))
+
+    @staticmethod
+    def _probe_share(outcome: ScenarioOutcome) -> float:
+        total = sum(outcome.delivered.values())
+        if total <= 0:
+            return 0.0
+        return outcome.delivered.get("probe", 0) / total
+
+    def check(self, scenario, outcome, runner) -> list[str]:
+        fluid = runner(dataclasses.replace(scenario, backend="fluid"))
+        problems = []
+        p_probe = outcome.probe or {}
+        f_probe = fluid.probe or {}
+        if bool(p_probe.get("contending")) != bool(f_probe.get("contending")):
+            problems.append(
+                f"verdict disagreement: packet "
+                f"contending={p_probe.get('contending')} (mean "
+                f"{p_probe.get('mean_elasticity', 0.0):.2f}) vs fluid "
+                f"contending={f_probe.get('contending')} (mean "
+                f"{f_probe.get('mean_elasticity', 0.0):.2f})")
+        p_share = self._probe_share(outcome)
+        f_share = self._probe_share(fluid)
+        if abs(p_share - f_share) > 0.25:
+            problems.append(
+                f"throughput-share disagreement: packet probe share "
+                f"{p_share:.3f} vs fluid {f_share:.3f} "
+                f"(tolerance 0.25)")
+        return problems
+
+
 class InjectedFaultOracle(Oracle):
     """Deterministic failure injection via ``REPRO_QA_FAULT``.
 
@@ -353,6 +409,7 @@ ORACLES: tuple[Oracle, ...] = (
     ElasticityRescalingOracle(),
     ElasticCrossOracle(),
     InelasticCrossOracle(),
+    FluidPacketAgreementOracle(),
     InjectedFaultOracle(),
 )
 

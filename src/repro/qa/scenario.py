@@ -50,6 +50,9 @@ FLOW_CCAS = ("reno", "newreno", "cubic", "vegas", "copa", "bbr",
 #: with one cross-traffic type (the §3.2 measurement setup).
 FAMILIES = ("flows", "probe")
 
+#: Simulation backends a scenario can run on.
+BACKENDS = ("packet", "fluid")
+
 
 @dataclass(frozen=True)
 class FlowSpec:
@@ -94,6 +97,8 @@ class Scenario:
             load in the "flows" family.
         duration: simulated seconds.
         seed: the scenario's own seed (qdisc salts, traffic RNG).
+        backend: "packet" (the discrete-event engine) or "fluid" (the
+            rate-based fast path, :mod:`repro.fluid`).
     """
 
     family: str
@@ -105,6 +110,7 @@ class Scenario:
     buffer_multiplier: float = 1.0
     flows: tuple[FlowSpec, ...] = ()
     cross_traffic: str = "none"
+    backend: str = "packet"
 
     def __post_init__(self):
         if self.family not in FAMILIES:
@@ -125,13 +131,23 @@ class Scenario:
         if self.family == "probe" and self.flows:
             raise ConfigError("'probe' scenarios take cross_traffic, "
                               "not explicit flows")
+        if self.backend not in BACKENDS:
+            raise ConfigError(f"unknown backend {self.backend!r}; "
+                              f"known: {', '.join(BACKENDS)}")
 
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-ready; round-trips via from_dict)."""
+        """Plain-dict form (JSON-ready; round-trips via from_dict).
+
+        The default backend is omitted so every pre-existing scenario
+        fingerprint -- and the whole regression corpus -- is
+        unchanged by the backend field's existence.
+        """
         d = dataclasses.asdict(self)
         d["flows"] = [dataclasses.asdict(f) for f in self.flows]
+        if d["backend"] == "packet":
+            del d["backend"]
         return d
 
     @classmethod
@@ -151,10 +167,11 @@ class Scenario:
         extra = (f" cross={self.cross_traffic}"
                  if self.family == "flows" and self.cross_traffic != "none"
                  else "")
+        tail = "" if self.backend == "packet" else f" backend={self.backend}"
         return (f"{self.family}[{what}] qdisc={self.qdisc}{extra} "
                 f"{self.rate_mbps:g}mbps/{self.rtt_ms:g}ms "
                 f"buf={self.buffer_multiplier:g} dur={self.duration:g}s "
-                f"seed={self.seed}")
+                f"seed={self.seed}{tail}")
 
 
 def scenario_fingerprint(scenario: Scenario) -> str:
@@ -278,7 +295,15 @@ def run_scenario(scenario: Scenario,
     doubles as an invariant audit.  ``check_invariants=False`` skips
     capture for metamorphic re-runs where only the outcome fingerprint
     matters (the fingerprint does not cover the raw trace).
+
+    Scenarios with ``backend="fluid"`` dispatch to the rate-based
+    backend (:mod:`repro.fluid`), which produces the same outcome
+    shape without a packet trace.
     """
+    if scenario.backend == "fluid":
+        from ..fluid import run_scenario_fluid
+        return run_scenario_fluid(scenario,
+                                  check_invariants=check_invariants)
     sim = Simulator()
     rate = mbps(scenario.rate_mbps)
     rtt = ms(scenario.rtt_ms)

@@ -81,11 +81,16 @@ def execute_campaign(params: dict, store, workers) -> tuple[dict, object]:
     """
     from ..core.campaign import Campaign
 
+    backend = params.get("backend", "packet")
+    if backend not in ("packet", "fluid"):
+        raise ConfigError(
+            f"param 'backend' must be 'packet' or 'fluid': {backend!r}")
     campaign = Campaign(
         n_paths=_int_param(params, "n_paths", 40),
         seed=_int_param(params, "seed", 0, minimum=0),
         duration=_float_param(params, "duration", 30.0),
-        fq_fraction=float(params.get("fq_fraction", 0.3)))
+        fq_fraction=float(params.get("fq_fraction", 0.3)),
+        backend=backend)
     result = campaign.run(store=store, workers=workers,
                           resume=bool(params.get("resume", False)))
     outcome = [{"contending": r.verdict.contending,

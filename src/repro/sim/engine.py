@@ -4,6 +4,14 @@ A minimal but fast event loop: callbacks are scheduled at absolute times
 and executed in timestamp order (FIFO among equal timestamps).  All other
 simulation components -- links, queues, transport endpoints, applications
 -- are written against this engine.
+
+Two scheduling families exist.  :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` return an :class:`Event` handle that can
+be cancelled; :meth:`Simulator.call_later` / :meth:`Simulator.call_at`
+are the never-cancelled fast path -- they push a bare callback with no
+handle allocation, which matters because the overwhelming majority of
+events (transmission completions, propagation arrivals, pacing ticks)
+are never cancelled.
 """
 
 from __future__ import annotations
@@ -17,13 +25,39 @@ from ..obs import invariants as _invariants
 from ..obs.bus import BUS as _OBS, EventKind
 from ..obs.metrics import REGISTRY as _METRICS
 
+#: Delays more negative than this raise; anything in (-_EPSILON, 0) is
+#: floating-point residue from rate arithmetic (e.g. ``bytes/rate -
+#: elapsed`` landing at -1e-18) and is clamped to "now".
+_EPSILON = 1e-9
+
+# Cached run-accounting instruments.  ``REGISTRY.reset()`` drops every
+# instrument, so the cache is keyed on the registry generation and
+# refreshed when it changes; between resets the per-run cost is one
+# integer comparison instead of three name lookups.
+_RUN_INSTRUMENTS: tuple | None = None
+
+
+def _run_instruments():
+    global _RUN_INSTRUMENTS
+    cached = _RUN_INSTRUMENTS
+    generation = _METRICS.generation
+    if cached is None or cached[0] != generation:
+        cached = (generation,
+                  _METRICS.counter("sim.events_processed"),
+                  _METRICS.counter("sim.runs"),
+                  _METRICS.gauge("sim.clock_s"))
+        _RUN_INSTRUMENTS = cached
+    return cached
+
 
 class Event:
     """Handle for a scheduled callback; supports cancellation.
 
-    Events are stored in the heap as ``(time, seq, event)`` tuples so
+    Heap entries are ``(time, seq, callback, event_or_None)`` tuples so
     ordering is decided by C-level float/int comparison; ``seq`` is
-    unique, so the Event object itself is never compared.
+    unique, so later elements are never compared.  The fourth slot is
+    None for the fast path (:meth:`Simulator.call_later`), which never
+    allocates a handle at all.
     """
 
     __slots__ = ("time", "callback", "cancelled")
@@ -51,7 +85,7 @@ class Simulator:
 
     def __init__(self):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
@@ -65,30 +99,66 @@ class Simulator:
     # -- scheduling ------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
-        """Run ``callback`` ``delay`` seconds from now."""
+        """Run ``callback`` ``delay`` seconds from now.
+
+        Delays negative only by floating-point error (above
+        ``-_EPSILON``) are clamped to zero; genuinely negative delays
+        raise :class:`SimulationError`.
+        """
         if delay < 0:
-            raise SimulationError(f"cannot schedule in the past: {delay!r}")
-        return self.schedule_at(self.now + delay, callback)
+            if delay <= -_EPSILON:
+                raise SimulationError(
+                    f"cannot schedule in the past: {delay!r}")
+            delay = 0.0
+        time = self.now + delay
+        event = Event(time, callback)
+        heapq.heappush(self._heap,
+                       (time, next(self._seq), callback, event))
+        return event
 
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
         """Run ``callback`` at absolute simulation time ``time``."""
         if time < self.now:
-            raise SimulationError(
-                f"cannot schedule at {time} (now is {self.now})")
+            if time <= self.now - _EPSILON:
+                raise SimulationError(
+                    f"cannot schedule at {time} (now is {self.now})")
+            time = self.now
         event = Event(time, callback)
-        heapq.heappush(self._heap, (time, next(self._seq), event))
+        heapq.heappush(self._heap,
+                       (time, next(self._seq), callback, event))
         return event
+
+    def call_later(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Fast path: like :meth:`schedule` but with no cancellation
+        handle (and no per-event allocation beyond the heap tuple)."""
+        if delay < 0:
+            if delay <= -_EPSILON:
+                raise SimulationError(
+                    f"cannot schedule in the past: {delay!r}")
+            delay = 0.0
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._seq), callback, None))
+
+    def call_at(self, time: float, callback: Callable[[], Any]) -> None:
+        """Fast path: like :meth:`schedule_at` but with no handle."""
+        if time < self.now:
+            if time <= self.now - _EPSILON:
+                raise SimulationError(
+                    f"cannot schedule at {time} (now is {self.now})")
+            time = self.now
+        heapq.heappush(self._heap,
+                       (time, next(self._seq), callback, None))
 
     # -- execution -------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
         while self._heap:
-            _, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
+            time, _, callback, event = heapq.heappop(self._heap)
+            if event is not None and event.cancelled:
                 continue
-            self.now = event.time
-            event.callback()
+            self.now = time
+            callback()
             self._events_processed += 1
             return True
         return False
@@ -108,26 +178,31 @@ class Simulator:
         if _OBS.enabled:
             _OBS.emit(self.now, EventKind.SIM_RUN, "sim",
                       meta={"phase": "begin"})
+        limit = float("inf") if until is None else until
         try:
             while heap:
-                time, _, event = heap[0]
-                if event.cancelled:
+                entry = heap[0]
+                event = entry[3]
+                if event is not None and event.cancelled:
                     pop(heap)
                     continue
-                if until is not None and time > until:
+                time = entry[0]
+                if time > limit:
                     break
                 pop(heap)
                 self.now = time
-                event.callback()
+                entry[2]()
                 self._events_processed += 1
             if until is not None and until > self.now:
                 self.now = until
         finally:
             self._running = False
             executed = self._events_processed - processed_before
-            _METRICS.counter("sim.events_processed").inc(executed)
-            _METRICS.counter("sim.runs").inc()
-            _METRICS.gauge("sim.clock_s").set(self.now)
+            _, events_counter, runs_counter, clock_gauge = \
+                _run_instruments()
+            events_counter.inc(executed)
+            runs_counter.inc()
+            clock_gauge.set(self.now)
             if _OBS.enabled:
                 _OBS.emit(self.now, EventKind.SIM_RUN, "sim",
                           value=float(executed), meta={"phase": "end"})
@@ -155,4 +230,5 @@ class Simulator:
         O(pending): walks the heap, so prefer :attr:`pending` in hot
         paths where the distinction does not matter.
         """
-        return sum(1 for _, _, event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap
+                   if entry[3] is None or not entry[3].cancelled)

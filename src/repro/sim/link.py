@@ -13,6 +13,7 @@ them to compute ground-truth rates without touching the data path.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Optional, Protocol
 
 from ..errors import ConfigError
@@ -20,7 +21,7 @@ from ..obs.bus import BUS as _OBS, EventKind
 from ..qdisc.base import Qdisc
 from ..qdisc.fifo import DropTailQueue
 from .engine import Simulator
-from .packet import Packet
+from .packet import Packet, recycle
 
 
 class PacketSink(Protocol):
@@ -56,6 +57,7 @@ class Link:
         self.name = name
         self._busy = False
         self._retry_event = None
+        self._in_flight: Optional[Packet] = None
         self._taps: list[Tap] = []
         self.delivered_packets = 0
         self.delivered_bytes = 0
@@ -104,9 +106,16 @@ class Link:
         self._busy = True
         tx_time = packet.size / self._rate
         self.busy_time += tx_time
-        self.sim.schedule(tx_time, lambda: self._complete(packet))
+        # One packet serializes at a time (guarded by _busy), so a
+        # single in-flight slot replaces a per-packet closure and the
+        # completion event is never cancelled: the handle-free
+        # call_later path applies.
+        self._in_flight = packet
+        self.sim.call_later(tx_time, self._complete)
 
-    def _complete(self, packet: Packet) -> None:
+    def _complete(self) -> None:
+        packet = self._in_flight
+        self._in_flight = None
         self._busy = False
         self._deliver(packet)
         self._kick()
@@ -149,12 +158,21 @@ class DelayBox:
         self.delay = delay
         self.sink = sink
         self.name = name
+        # Fixed delay means FIFO: arrivals leave in order, so a deque
+        # plus a bound-method event replaces a per-packet closure.
+        self._queue: deque[Packet] = deque()
 
     def send(self, packet: Packet) -> None:
         if self.sink is None:
             return
+        self._queue.append(packet)
+        self.sim.call_later(self.delay, self._deliver_next)
+
+    def _deliver_next(self) -> None:
+        packet = self._queue.popleft()
         sink = self.sink
-        self.sim.schedule(self.delay, lambda: sink.send(packet))
+        if sink is not None:
+            sink.send(packet)
 
 
 class LossBox:
@@ -176,6 +194,7 @@ class LossBox:
     def send(self, packet: Packet) -> None:
         if self._rng.random() < self.loss_rate:
             self.dropped += 1
+            recycle(packet)
             return
         if self.sink is not None:
             self.sink.send(packet)

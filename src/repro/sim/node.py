@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from .packet import Packet
+from .packet import Packet, recycle
 
 Handler = Callable[[Packet], None]
 
@@ -34,14 +34,21 @@ class Host:
         self._handlers.pop(flow_id, None)
 
     def send(self, packet: Packet) -> None:
-        """Receive a packet from the network (PacketSink interface)."""
+        """Receive a packet from the network (PacketSink interface).
+
+        The host is a terminal consumption point: once the handler
+        returns (handlers read header fields and reply with *new*
+        packets, they never re-inject their argument), the packet is
+        dead and goes back to the free-list pool.
+        """
         self.received_packets += 1
         self.received_bytes += packet.size
         handler = self._handlers.get(packet.flow_id)
         if handler is None:
             self.unclaimed += 1
-            return
-        handler(packet)
+        else:
+            handler(packet)
+        recycle(packet)
 
 
 class CountingSink:
@@ -59,3 +66,4 @@ class CountingSink:
     # PacketSink interface so it can terminate a path directly.
     def send(self, packet: Packet) -> None:
         self(packet)
+        recycle(packet)

@@ -128,7 +128,10 @@ class TcpSender:
         self.rtt = RttEstimator()
         self.tracker = TcpInfoTracker(start_time=sim.now)
         self._rto_event = None
-        self._pump_event = None
+        # The pacing pump is never cancelled, only guarded against
+        # double-scheduling, so a boolean flag plus the handle-free
+        # call_at path replaces an Event allocation per pacing tick.
+        self._pump_scheduled = False
         self._next_tx_time = 0.0
 
         # BBR-style delivery accounting.
@@ -203,13 +206,13 @@ class TcpSender:
     # -- transmission -------------------------------------------------------
 
     def _pump(self) -> None:
-        if self._pump_event is not None:
+        if self._pump_scheduled:
             return
         now = self.sim.now
         while self._can_transmit():
             if self._next_tx_time > now + 1e-12:
-                self._pump_event = self.sim.schedule_at(
-                    self._next_tx_time, self._pump_fire)
+                self._pump_scheduled = True
+                self.sim.call_at(self._next_tx_time, self._pump_fire)
                 break
             if self._lost_queue:
                 self._send_retransmission()
@@ -218,7 +221,7 @@ class TcpSender:
         self._update_limit_state()
 
     def _pump_fire(self) -> None:
-        self._pump_event = None
+        self._pump_scheduled = False
         self._pump()
 
     def _send_new_segment(self) -> None:
@@ -520,7 +523,7 @@ class TcpSender:
             state = LimitState.IDLE if self._closed else LimitState.APP_LIMITED
         elif self.backlog <= 0 and not self._lost_queue:
             state = LimitState.APP_LIMITED
-        elif self._can_transmit() or self._pump_event is not None:
+        elif self._can_transmit() or self._pump_scheduled:
             state = LimitState.BUSY
         elif self._peer_rwnd < self.cca.cwnd * self.mss:
             state = LimitState.RWND_LIMITED

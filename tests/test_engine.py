@@ -174,3 +174,68 @@ def test_property_cancellation_removes_exactly_one(delays, cancel_idx):
     events[cancel_idx % len(events)].cancel()
     sim.run()
     assert count[0] == len(delays) - 1
+
+
+# -- float-noise clamping ---------------------------------------------------
+
+def test_tiny_negative_delay_clamps_to_now():
+    # A delay negative only by floating-point error (e.g. computing
+    # `next_tx - now` after accumulating rounding) schedules at `now`
+    # instead of raising.
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(-1e-12,
+                                           lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_genuinely_negative_delay_still_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1e-6, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_later(-1e-6, lambda: None)
+
+
+def test_call_at_tiny_past_clamps():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.call_at(1.0 - 1e-12,
+                                          lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.0]
+
+
+# -- the handle-free fast path ---------------------------------------------
+
+def test_call_later_runs_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_later(2.0, lambda: order.append("b"))
+    sim.call_later(1.0, lambda: order.append("a"))
+    sim.call_at(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.events_processed == 3
+
+
+def test_call_later_interleaves_fifo_with_schedule():
+    # Both scheduling families share one sequence counter, so ties
+    # between them still run in submission order.
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("ev1"))
+    sim.call_later(1.0, lambda: order.append("cb1"))
+    sim.schedule(1.0, lambda: order.append("ev2"))
+    sim.call_later(1.0, lambda: order.append("cb2"))
+    sim.run()
+    assert order == ["ev1", "cb1", "ev2", "cb2"]
+
+
+def test_call_later_counts_as_pending_active():
+    sim = Simulator()
+    sim.call_later(1.0, lambda: None)
+    assert (sim.pending, sim.pending_active) == (1, 1)
+    sim.run()
+    assert (sim.pending, sim.pending_active) == (0, 0)
