@@ -15,13 +15,15 @@ Subcommands:
 * ``repro bench`` -- quick built-in performance smoke (engine, PELT,
   pipeline, campaign serial vs parallel).
 * ``repro store stat|ls|gc`` -- inspect and prune the result store.
-* ``repro qa fuzz|shrink|corpus`` -- deterministic scenario fuzzing
-  against the oracle suite, failure minimization, and the committed
-  regression corpus (see TESTING.md).
+* ``repro qa fuzz|search|envelope|shrink|corpus`` -- deterministic
+  scenario fuzzing against the oracle suite, coverage-guided
+  adversarial search, the per-detector robustness-envelope artifact,
+  failure minimization, and the committed regression corpus (see
+  TESTING.md).
 * ``repro serve`` -- run the always-on experiment service: an asyncio
-  HTTP server accepting campaign/pipeline/sweep/qa-fuzz requests as
-  JSON, with request coalescing, store-backed cache hits, rate
-  limiting, and graceful drain (see SERVING.md).
+  HTTP server accepting campaign/pipeline/sweep/qa-fuzz/qa-search/
+  qa-envelope requests as JSON, with request coalescing, store-backed
+  cache hits, rate limiting, and graceful drain (see SERVING.md).
 
 Machine-readable output: ``run`` / ``trace`` / ``metrics`` / ``qa
 fuzz`` / ``qa corpus`` accept ``--json``, printing a single JSON
@@ -64,6 +66,7 @@ SMOKE_PARAMS: dict[str, dict] = {
     "cellular_robustness": {"duration": 20.0,
                             "volatilities": (0.0, 0.1)},
     "envelope": {"backend": "fluid"},
+    "robustness": {"budget": 40},
 }
 
 
@@ -444,6 +447,98 @@ def cmd_qa_fuzz(args) -> int:
     return 1
 
 
+def cmd_qa_search(args) -> int:
+    """``repro qa search``: coverage-guided adversarial search.
+
+    Stdout carries only the deterministic search report (a pure
+    function of seed/budget/threshold, bit-identical for any worker
+    count); timing goes to stderr.  Failures that reproduced on the
+    packet backend are shrunk and written into ``--corpus-out``; the
+    exit code is 1 only when at least one failure reproduced.
+    """
+    import time as _time
+
+    from .qa.search import promote_failure, run_search
+
+    t0 = _time.time()
+    report = run_search(args.budget, seed=args.seed,
+                        workers=args.workers, threshold=args.threshold)
+    if args.json:
+        _print_json(report.to_dict())
+    else:
+        print(report.render())
+    print(f"[{_time.time() - t0:.1f}s]", file=sys.stderr)
+    reproduced = report.reproduced_failures
+    if reproduced and not args.no_shrink:
+        created = _time.strftime("%Y-%m-%d")
+        for failure in reproduced[:args.max_shrink]:
+            print(f"shrinking [{failure.oracle}] "
+                  f"{failure.scenario.label()}...", file=sys.stderr)
+            case, runs = promote_failure(failure, args.seed, created,
+                                         directory=args.corpus_out)
+            print(f"  -> {args.corpus_out}/{case.name}.json "
+                  f"({runs} shrink runs)", file=sys.stderr)
+    return 1 if reproduced else 0
+
+
+def cmd_qa_envelope(args) -> int:
+    """``repro qa envelope``: the robustness-envelope artifact.
+
+    Produces (or fetches from the store) the feature-cell
+    pass/fail/confidence surface for the default detector config.
+    ``--out`` writes the artifact JSON; ``--check BASELINE`` diffs it
+    against a committed baseline and exits 1 on any cell that passed
+    in the baseline but fails now.
+    """
+    import json as _json
+    import time as _time
+
+    from .qa.search import diff_envelopes, run_envelope
+
+    t0 = _time.time()
+    artifact, cached = run_envelope(
+        args.budget, seed=args.seed, store=_cli_store(args),
+        workers=args.workers, threshold=args.threshold)
+    if args.out:
+        with open(args.out, "w") as fh:
+            _json.dump(artifact, fh, indent=2, sort_keys=True,
+                       default=_json_default)
+            fh.write("\n")
+    if args.json:
+        _print_json(artifact)
+    else:
+        cells = artifact["cells"]
+        failing = sum(1 for s in cells.values() if not s["pass"])
+        print(f"qa envelope seed={artifact['seed']} "
+              f"budget={artifact['budget']} suite={artifact['suite']}")
+        print(f"  detector: " + " ".join(
+            f"{k}={v}" for k, v in sorted(
+                artifact["detector"].items())))
+        print(f"  coverage: {artifact['coverage']} cells "
+              f"({artifact['coverage'] - failing} pass, {failing} fail)")
+        if artifact["min_confidence"] is not None:
+            print(f"  lowest detector confidence: "
+                  f"{artifact['min_confidence']:.3f}")
+        print(f"  fingerprint: {artifact['fingerprint']}")
+    print(f"[{_time.time() - t0:.1f}s"
+          f"{', cached' if cached else ''}]", file=sys.stderr)
+    if args.check:
+        with open(args.check) as fh:
+            baseline = _json.load(fh)
+        delta = diff_envelopes(baseline, artifact)
+        for cell in delta["regressions"]:
+            print(f"REGRESSION: {cell} passed in baseline, fails now")
+        for cell in delta["fixed"]:
+            print(f"fixed: {cell}")
+        print(f"envelope check: {len(delta['regressions'])} regressions, "
+              f"{len(delta['fixed'])} fixed, "
+              f"{len(delta['new_cells'])} new cells, "
+              f"{len(delta['lost_cells'])} lost cells")
+        if delta["regressions"]:
+            return 1
+    return 0
+
+
 def cmd_qa_shrink(args) -> int:
     """``repro qa shrink CASE.json``: re-minimize a corpus case."""
     import time as _time
@@ -676,6 +771,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the worker-equivalence stage")
     add_json_flag(p_fuzz)
     p_fuzz.set_defaults(fn=cmd_qa_fuzz)
+    p_search = qa_sub.add_parser(
+        "search", help="coverage-guided adversarial scenario search")
+    p_search.add_argument("--budget", type=int, default=200,
+                          help="candidate scenarios to evaluate")
+    p_search.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (the report is a pure "
+                               "function of seed/budget/threshold)")
+    p_search.add_argument("--workers", type=int,
+                          help="evaluation parallelism (wall-clock "
+                               "only; output is worker-count invariant)")
+    p_search.add_argument("--threshold", type=float, default=2.0,
+                          help="detector threshold the confidence "
+                               "buckets center on")
+    p_search.add_argument("--corpus-out", default="qa-failures",
+                          help="directory for shrunk reproduced "
+                               "failures")
+    p_search.add_argument("--max-shrink", type=int, default=5,
+                          help="max failures to shrink after the search")
+    p_search.add_argument("--no-shrink", action="store_true",
+                          help="report failures without shrinking them")
+    add_json_flag(p_search)
+    p_search.set_defaults(fn=cmd_qa_search)
+    p_envelope = qa_sub.add_parser(
+        "envelope", help="produce the robustness-envelope artifact")
+    p_envelope.add_argument("--budget", type=int, default=200,
+                            help="search budget behind the envelope")
+    p_envelope.add_argument("--seed", type=int, default=0)
+    p_envelope.add_argument("--workers", type=int,
+                            help="evaluation parallelism")
+    p_envelope.add_argument("--threshold", type=float, default=2.0,
+                            help="detector threshold under test")
+    p_envelope.add_argument("--no-cache", action="store_true",
+                            help="recompute even if the store has a "
+                                 "matching envelope")
+    p_envelope.add_argument("--out",
+                            help="write the artifact JSON to this file")
+    p_envelope.add_argument("--check", metavar="BASELINE",
+                            help="diff against a baseline envelope "
+                                 "JSON; exit 1 on pass->fail "
+                                 "regressions")
+    add_json_flag(p_envelope)
+    p_envelope.set_defaults(fn=cmd_qa_envelope)
     p_shrink = qa_sub.add_parser(
         "shrink", help="re-minimize a saved corpus case")
     p_shrink.add_argument("case", help="path to a corpus JSON file")

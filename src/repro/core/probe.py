@@ -78,7 +78,8 @@ class ElasticityProbe:
                  flow_id: str = "probe", capacity_hint: float | None = None,
                  pulse_freq: float = 5.0, pulse_amplitude: float = 0.35,
                  warmup: float = 6.0, mss: int = DEFAULT_MSS,
-                 probe_mode: str = "delay", min_rate_frac: float = 0.25):
+                 probe_mode: str = "delay", min_rate_frac: float = 0.25,
+                 jitter=None):
         self.sim = sim
         self.flow_id = flow_id
         self.warmup = warmup
@@ -86,7 +87,8 @@ class ElasticityProbe:
             mss=mss, capacity_hint=capacity_hint, pulse_freq=pulse_freq,
             pulse_amplitude=pulse_amplitude, mode_switching=False,
             fixed_mode=probe_mode, min_rate_frac=min_rate_frac)
-        self.connection = Connection(sim, path, flow_id, self.cca)
+        self.connection = Connection(sim, path, flow_id, self.cca,
+                                     jitter=jitter)
         self._started_at: float | None = None
 
     def start(self) -> None:

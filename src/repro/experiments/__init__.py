@@ -13,12 +13,13 @@
 ``bwe_isolation``    E10: BwE-style central allocation eliminates contention (§2.1)
 ``cellular_robustness``  E11: probe robustness on variable-rate links (§2.3)
 ``envelope``    E12: the detector's calibrated envelope on either backend
+``robustness``  E13: coverage-guided search vs random fuzzing, head to head
 ==============  ===========================================================
 """
 
 from . import (access_link, bwe_isolation, campaign_eval,
                cellular_robustness, envelope, fairness_matrix, fig2,
-               fig3, fq_ablation, subpacket, tbf_jitter,
+               fig3, fq_ablation, robustness, subpacket, tbf_jitter,
                tslp_vs_elasticity)
 from .runner import ExperimentResult, Stopwatch, sweep
 
@@ -36,10 +37,11 @@ EXPERIMENTS = {
     "bwe_isolation": bwe_isolation.run,
     "cellular_robustness": cellular_robustness.run,
     "envelope": envelope.run,
+    "robustness": robustness.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "Stopwatch", "sweep",
            "fig2", "fig3", "fq_ablation", "tbf_jitter", "subpacket",
            "fairness_matrix", "campaign_eval", "access_link",
            "tslp_vs_elasticity", "bwe_isolation",
-           "cellular_robustness", "envelope"]
+           "cellular_robustness", "envelope", "robustness"]

@@ -12,6 +12,8 @@ regardless of link speed.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..errors import ConfigError
@@ -22,6 +24,12 @@ from .queue import FairBottleneck, build_bottleneck
 #: Default integration step (seconds): well below the shortest pulse
 #: period (200 ms at f_p = 5 Hz) and the smallest base RTT (20 ms).
 DEFAULT_DT = 0.005
+
+
+def _jitter_seed(seed: int) -> int:
+    """Stable child seed (same scheme as :mod:`repro.sim.jitter`)."""
+    digest = hashlib.sha256(f"jitter:{seed}:fluid".encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63)
 
 
 class FluidModel:
@@ -35,15 +43,28 @@ class FluidModel:
         qdisc: one of :data:`repro.qa.scenario.QDISC_NAMES`.
         dt: integration step (seconds).
         ecn: bottleneck marks instead of early-dropping (RED only).
+        jitter: endpoint-timing-jitter amplitude; each tick a masked
+            flow's offered rate is multiplied by a seeded factor in
+            ``[1 - a, 1 + a]`` -- the fluid analogue of the packet
+            backend's pacing-clock perturbation (ACK-clock delays
+            have no fluid counterpart; see :mod:`repro.sim.jitter`).
+        jitter_seed: seed for the jitter stream (scenario seed).
+        jitter_mask: per-flow booleans selecting which flows jitter
+            touches (None = all); cross traffic is excluded to match
+            the packet backend's "measured endpoints only" semantics.
     """
 
     def __init__(self, flows: list[FluidFlow], rate: float,
                  buffer_bytes: float, qdisc: str = "droptail",
-                 dt: float = DEFAULT_DT, ecn: bool = False):
+                 dt: float = DEFAULT_DT, ecn: bool = False,
+                 jitter: float = 0.0, jitter_seed: int = 0,
+                 jitter_mask=None):
         if not flows:
             raise ConfigError("fluid model needs at least one flow")
         if dt <= 0:
             raise ConfigError(f"dt must be positive: {dt}")
+        if jitter < 0:
+            raise ConfigError(f"jitter must be >= 0: {jitter}")
         self.flows = list(flows)
         self.rate = rate
         self.dt = dt
@@ -52,6 +73,15 @@ class FluidModel:
         self._fair = isinstance(self.bottleneck, FairBottleneck)
         self.now = 0.0
         self.ticks = 0
+        self.jitter = jitter
+        self._jitter_rng = (np.random.default_rng(_jitter_seed(jitter_seed))
+                            if jitter > 0 else None)
+        if jitter_mask is None:
+            self._jitter_mask = np.ones(len(flows))
+        else:
+            if len(jitter_mask) != len(flows):
+                raise ConfigError("jitter_mask length != number of flows")
+            self._jitter_mask = np.asarray(jitter_mask, dtype=float)
         # Per-flow smoothed service rate, for fair-queue sojourns.
         self._svc_smoothed = np.zeros(len(flows))
 
@@ -66,6 +96,9 @@ class FluidModel:
             now = self.now
             for i, flow in enumerate(flows):
                 rates[i] = flow.rate if now >= flow.start else 0.0
+            if self._jitter_rng is not None:
+                rates *= 1.0 + self.jitter * self._jitter_mask * (
+                    2.0 * self._jitter_rng.random(n) - 1.0)
             result = self.bottleneck.tick(rates * dt, dt)
             served = result.served
             self._svc_smoothed += 0.2 * (served / dt - self._svc_smoothed)

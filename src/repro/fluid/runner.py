@@ -74,7 +74,10 @@ def run_scenario_fluid(scenario, check_invariants: bool = True):
     if not flows:
         raise ConfigError(f"scenario has no flows: {scenario.label()}")
     model = FluidModel(flows, rate, buffer_bytes,
-                       qdisc=scenario.qdisc, ecn=ecn)
+                       qdisc=scenario.qdisc, ecn=ecn,
+                       jitter=scenario.timing_jitter,
+                       jitter_seed=scenario.seed,
+                       jitter_mask=[name != "cross" for name in names])
     model.run(scenario.duration)
 
     delivered = {name: int(round(flow.delivered_bytes))

@@ -30,6 +30,7 @@ from ..qdisc import (CoDelQueue, DropTailQueue, DrrFairQueue, HtbClass,
                      HtbQueue, Policer, RedQueue, StochasticFairQueue,
                      TokenBucketFilter)
 from ..sim.engine import Simulator
+from ..sim.jitter import MAX_AMPLITUDE as JITTER_MAX, TimingJitter
 from ..sim.network import default_buffer_packets, dumbbell
 from ..store.fingerprint import fingerprint
 from ..traffic.backlogged import BackloggedFlow
@@ -99,6 +100,11 @@ class Scenario:
         seed: the scenario's own seed (qdisc salts, traffic RNG).
         backend: "packet" (the discrete-event engine) or "fluid" (the
             rate-based fast path, :mod:`repro.fluid`).
+        timing_jitter: endpoint-timing-jitter amplitude in
+            ``[0, 0.5]`` (0 = perfect clocks).  Models endpoint CPU
+            contention perturbing pacing/ACK clocking (2BRobust, see
+            :mod:`repro.sim.jitter`); applies to measured flows and
+            the probe, not to cross traffic.
     """
 
     family: str
@@ -111,6 +117,7 @@ class Scenario:
     flows: tuple[FlowSpec, ...] = ()
     cross_traffic: str = "none"
     backend: str = "packet"
+    timing_jitter: float = 0.0
 
     def __post_init__(self):
         if self.family not in FAMILIES:
@@ -134,20 +141,26 @@ class Scenario:
         if self.backend not in BACKENDS:
             raise ConfigError(f"unknown backend {self.backend!r}; "
                               f"known: {', '.join(BACKENDS)}")
+        if not 0.0 <= self.timing_jitter <= JITTER_MAX:
+            raise ConfigError(
+                f"timing_jitter must be in [0, {JITTER_MAX}]: "
+                f"{self.timing_jitter}")
 
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-ready; round-trips via from_dict).
 
-        The default backend is omitted so every pre-existing scenario
-        fingerprint -- and the whole regression corpus -- is
-        unchanged by the backend field's existence.
+        Default-valued late additions (backend, timing_jitter) are
+        omitted so every pre-existing scenario fingerprint -- and the
+        whole regression corpus -- is unchanged by their existence.
         """
         d = dataclasses.asdict(self)
         d["flows"] = [dataclasses.asdict(f) for f in self.flows]
         if d["backend"] == "packet":
             del d["backend"]
+        if d["timing_jitter"] == 0.0:
+            del d["timing_jitter"]
         return d
 
     @classmethod
@@ -168,6 +181,8 @@ class Scenario:
                  if self.family == "flows" and self.cross_traffic != "none"
                  else "")
         tail = "" if self.backend == "packet" else f" backend={self.backend}"
+        if self.timing_jitter:
+            tail += f" jitter={self.timing_jitter:g}"
         return (f"{self.family}[{what}] qdisc={self.qdisc}{extra} "
                 f"{self.rate_mbps:g}mbps/{self.rtt_ms:g}ms "
                 f"buf={self.buffer_multiplier:g} dur={self.duration:g}s "
@@ -221,14 +236,23 @@ def build_qdisc(scenario: Scenario):
     raise ConfigError(f"unknown qdisc {name!r}")  # pragma: no cover
 
 
+def _jitter_for(scenario: Scenario, stream: str) -> TimingJitter | None:
+    """The scenario's jitter stream for one flow (None when disabled)."""
+    if scenario.timing_jitter <= 0.0:
+        return None
+    return TimingJitter(scenario.timing_jitter, scenario.seed, stream)
+
+
 def _make_flow(sim: Simulator, path, index: int, spec: FlowSpec,
-               rate_bps: float) -> BackloggedFlow:
+               rate_bps: float,
+               jitter: TimingJitter | None = None) -> BackloggedFlow:
     if spec.cca == "cbr":
         cca = CbrCca(rate=max(10_000.0, spec.rate_frac * rate_bps))
     else:
         cca = make_cca(spec.cca)
     flow = BackloggedFlow(sim, path, f"flow-{index}", cca,
-                          user_id=spec.user_id, ecn=spec.ecn)
+                          user_id=spec.user_id, ecn=spec.ecn,
+                          jitter=jitter)
     if spec.start > 0:
         sim.schedule(spec.start, flow.start)
     else:
@@ -318,12 +342,14 @@ def run_scenario(scenario: Scenario,
         sources: dict[str, object] = {}
         probe = None
         if scenario.family == "probe":
-            probe = ElasticityProbe(sim, path, capacity_hint=rate)
+            probe = ElasticityProbe(sim, path, capacity_hint=rate,
+                                    jitter=_jitter_for(scenario, "probe"))
             probe.start()
         else:
             for i, spec in enumerate(scenario.flows):
-                sources[f"flow-{i}"] = _make_flow(sim, path, i, spec,
-                                                  rate)
+                sources[f"flow-{i}"] = _make_flow(
+                    sim, path, i, spec, rate,
+                    jitter=_jitter_for(scenario, f"flow-{i}"))
         if scenario.family == "probe" or scenario.cross_traffic != "none":
             cross = make_cross_traffic(scenario.cross_traffic, sim, path,
                                        "cross", seed=scenario.seed)

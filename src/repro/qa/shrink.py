@@ -47,6 +47,9 @@ def _candidates(scenario: Scenario) -> Iterator[tuple[str, Scenario]]:
     if scenario.cross_traffic != "none" and scenario.family != "probe":
         yield ("remove cross traffic",
                dataclasses.replace(scenario, cross_traffic="none"))
+    if scenario.timing_jitter != 0.0:
+        yield ("remove timing jitter",
+               dataclasses.replace(scenario, timing_jitter=0.0))
     floor = (_PROBE_DURATION_FLOOR if scenario.family == "probe"
              else _FLOW_DURATION_FLOOR)
     if scenario.duration > floor:

@@ -222,6 +222,55 @@ def execute_qa_fuzz(params: dict, store, workers) -> tuple[dict, object]:
     return summary, report
 
 
+def execute_qa_search(params: dict, store, workers) -> tuple[dict, object]:
+    """``qa-search`` jobs: a coverage-guided search campaign."""
+    from ..qa.search import run_search
+
+    budget = _int_param(params, "budget", 50)
+    seed = _int_param(params, "seed", 0, minimum=0)
+    threshold = _float_param(params, "threshold", 2.0)
+    report = run_search(budget, seed=seed, workers=workers,
+                        threshold=threshold)
+    summary = {
+        "budget": budget,
+        "seed": seed,
+        "coverage": report.feature_map.coverage,
+        "min_confidence": report.feature_map.min_confidence(),
+        "corpus_size": len(report.corpus),
+        "failures": [f.to_dict() for f in report.failures],
+        "reproduced": len(report.reproduced_failures),
+    }
+    return summary, report.to_dict()
+
+
+def execute_qa_envelope(params: dict, store, workers) -> tuple[dict, object]:
+    """``qa-envelope`` jobs: the robustness-envelope artifact.
+
+    The artifact itself is store-cached under its own key (seed,
+    budget, threshold, detector config, oracle-suite version), so a
+    resubmission with equal params -- even under a different serve
+    request id -- is a search-free cache hit.
+    """
+    from ..qa.search import run_envelope
+
+    budget = _int_param(params, "budget", 50)
+    seed = _int_param(params, "seed", 0, minimum=0)
+    threshold = _float_param(params, "threshold", 2.0)
+    artifact, cached = run_envelope(budget, seed=seed, store=store,
+                                    workers=workers, threshold=threshold)
+    failing = sum(1 for s in artifact["cells"].values() if not s["pass"])
+    summary = {
+        "budget": budget,
+        "seed": seed,
+        "coverage": artifact["coverage"],
+        "failing_cells": failing,
+        "min_confidence": artifact["min_confidence"],
+        "fingerprint": artifact["fingerprint"],
+        "cached": cached,
+    }
+    return summary, artifact
+
+
 #: Kind -> executor.  Tests may register extra kinds; admission
 #: validates against this table.
 EXECUTORS: dict[str, Callable] = {
@@ -230,6 +279,8 @@ EXECUTORS: dict[str, Callable] = {
     "experiment": execute_experiment,
     "sweep": execute_sweep,
     "qa-fuzz": execute_qa_fuzz,
+    "qa-search": execute_qa_search,
+    "qa-envelope": execute_qa_envelope,
 }
 
 

@@ -1,0 +1,83 @@
+"""Seeded endpoint-timing jitter: the CPU-contention axis.
+
+2BRobust (PAPERS.md) shows that contention for endpoint CPU -- not
+the network -- perturbs a sender's pacing clock and a receiver's ACK
+clock enough to degrade BBR-family behaviour.  :class:`TimingJitter`
+models that axis for the packet backend: a deterministic, seeded
+stream of perturbations applied to the two clocks an endpoint owns:
+
+* **Pacing**: each inter-send gap is multiplied by a factor drawn
+  uniformly from ``[1 - a, 1 + a]``, with an occasional scheduler
+  stall (probability :data:`STALL_PROBABILITY`) stretching the gap by
+  several amplitudes -- bursts after stalls, as a busy CPU produces.
+* **ACK clocking**: each ACK is delayed by up to
+  ``a * ACK_DELAY_MAX_S`` seconds (scheduler-quantum scale), with
+  dispatch kept monotone so a busy receiver process drains its ACK
+  backlog in order.
+
+Amplitude ``a`` is the scenario's ``timing_jitter`` field (0 disables
+everything, and no :class:`TimingJitter` is even constructed).  The
+stream derives from the scenario seed through the same SHA-256 scheme
+as :mod:`repro.sim.rng`, so runs are bit-reproducible and independent
+of other RNG consumers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from ..errors import ConfigError
+
+#: Largest supported amplitude (a gap may stretch by several times
+#: this through a stall; beyond 0.5 the model stops being "jitter").
+MAX_AMPLITUDE = 0.5
+
+#: Probability that one pacing gap hits a scheduler stall.
+STALL_PROBABILITY = 0.02
+
+#: Extra gap stretch (in amplitudes) a stall adds.
+STALL_AMPLITUDES = 8.0
+
+#: Upper bound of the ACK delay at amplitude 1.0 (seconds) -- the
+#: scale of an OS scheduling quantum.
+ACK_DELAY_MAX_S = 0.004
+
+
+def _derive(seed: int, stream: str) -> int:
+    """Stable 63-bit child seed (same scheme as :mod:`repro.sim.rng`)."""
+    digest = hashlib.sha256(f"jitter:{seed}:{stream}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63)
+
+
+class TimingJitter:
+    """One endpoint's seeded timing-perturbation stream.
+
+    Args:
+        amplitude: perturbation amplitude in ``(0, MAX_AMPLITUDE]``.
+        seed: base seed (typically the scenario seed).
+        stream: stream name (typically the flow id) so each flow's
+            perturbations are independent.
+    """
+
+    __slots__ = ("amplitude", "_rng")
+
+    def __init__(self, amplitude: float, seed: int, stream: str = "flow"):
+        if not 0.0 < amplitude <= MAX_AMPLITUDE:
+            raise ConfigError(
+                f"jitter amplitude must be in (0, {MAX_AMPLITUDE}]: "
+                f"{amplitude}")
+        self.amplitude = amplitude
+        self._rng = random.Random(_derive(seed, stream))
+
+    def pacing_factor(self) -> float:
+        """Multiplier for one inter-send pacing gap (mean ~1)."""
+        rng = self._rng
+        factor = 1.0 + self.amplitude * (2.0 * rng.random() - 1.0)
+        if rng.random() < STALL_PROBABILITY:
+            factor += STALL_AMPLITUDES * self.amplitude
+        return factor
+
+    def ack_delay(self) -> float:
+        """Extra delay (seconds) before one ACK is handed to the wire."""
+        return self.amplitude * ACK_DELAY_MAX_S * self._rng.random()

@@ -19,6 +19,7 @@ algorithm).
 from __future__ import annotations
 
 import bisect
+import functools
 from collections import deque
 from typing import Callable, Optional
 
@@ -80,12 +81,14 @@ class TcpSender:
         user_id: subscriber identifier (for per-user qdiscs).
         header_bytes: wire overhead per segment.
         ecn: negotiate ECN (packets marked capable; reacts to echoes).
+        jitter: optional :class:`~repro.sim.jitter.TimingJitter`
+            perturbing the pacing clock (endpoint CPU contention).
     """
 
     def __init__(self, sim: Simulator, flow_id: str, cca: CongestionControl,
                  transmit: Callable[[Packet], None], mss: int = DEFAULT_MSS,
                  user_id: str = "", header_bytes: int = 52,
-                 ecn: bool = False):
+                 ecn: bool = False, jitter=None):
         self.sim = sim
         self.flow_id = flow_id
         self.cca = cca
@@ -94,6 +97,7 @@ class TcpSender:
         self.user_id = user_id or flow_id
         self.header_bytes = header_bytes
         self.ecn = ecn
+        self.jitter = jitter
 
         self.snd_una = 0
         self.snd_nxt = 0
@@ -275,7 +279,12 @@ class TcpSender:
             self._next_tx_time = now
             return
         base = max(now, self._next_tx_time)
-        self._next_tx_time = base + wire_size / rate
+        gap = wire_size / rate
+        if self.jitter is not None:
+            # A contended sender CPU stretches or squeezes each pacing
+            # gap; the mean stays ~1 so the configured rate holds.
+            gap *= self.jitter.pacing_factor()
+        self._next_tx_time = base + gap
 
     # -- ACK processing ------------------------------------------------------
 
@@ -559,19 +568,24 @@ class TcpReceiver:
             small fixed window models receiver-limited flows.
         on_data: optional ``fn(new_bytes, now)`` delivery callback fired
             as in-order data arrives.
+        jitter: optional :class:`~repro.sim.jitter.TimingJitter`
+            delaying ACK dispatch (contended receiver CPU); delayed
+            ACKs stay in order via a monotone dispatch clock.
     """
 
     def __init__(self, sim: Simulator, flow_id: str,
                  transmit: Callable[[Packet], None],
                  rwnd_bytes: int | None = None,
                  on_data: Optional[Callable[[int, float], None]] = None,
-                 user_id: str = ""):
+                 user_id: str = "", jitter=None):
         self.sim = sim
         self.flow_id = flow_id
         self.transmit = transmit
         self.rwnd_bytes = rwnd_bytes
         self.on_data = on_data
         self.user_id = user_id or flow_id
+        self.jitter = jitter
+        self._next_ack_time = 0.0
         self.rcv_nxt = 0
         self._ooo: list[tuple[int, int]] = []
         self.received_bytes = 0
@@ -622,7 +636,12 @@ class TcpReceiver:
             ack.rwnd = self.rcv_nxt + self.rwnd_bytes
         if data_packet.ecn_marked:
             ack.ecn_echo = True
-        self.transmit(ack)
+        if self.jitter is not None:
+            when = max(now + self.jitter.ack_delay(), self._next_ack_time)
+            self._next_ack_time = when
+            self.sim.call_at(when, functools.partial(self.transmit, ack))
+        else:
+            self.transmit(ack)
 
 
 class Connection:
@@ -632,14 +651,15 @@ class Connection:
                  cca: CongestionControl, mss: int = DEFAULT_MSS,
                  rwnd_bytes: int | None = None, user_id: str = "",
                  on_data: Optional[Callable[[int, float], None]] = None,
-                 ecn: bool = False):
+                 ecn: bool = False, jitter=None):
         self.flow_id = flow_id
         self.sender = TcpSender(
             sim, flow_id, cca, transmit=path.entry.send, mss=mss,
-            user_id=user_id, ecn=ecn)
+            user_id=user_id, ecn=ecn, jitter=jitter)
         self.receiver = TcpReceiver(
             sim, flow_id, transmit=path.reverse_entry.send,
-            rwnd_bytes=rwnd_bytes, on_data=on_data, user_id=user_id)
+            rwnd_bytes=rwnd_bytes, on_data=on_data, user_id=user_id,
+            jitter=jitter)
         path.dst_host.attach(flow_id, self.receiver.on_packet)
         path.src_host.attach(flow_id, self.sender.on_packet)
 

@@ -25,17 +25,20 @@ class BackloggedFlow(TrafficSource):
         user_id: subscriber identifier for per-user queueing.
         ecn: negotiate ECN on the connection (DCTCP needs this to see
             congestion marks instead of losses).
+        jitter: optional :class:`~repro.sim.jitter.TimingJitter` for
+            the endpoint clocks (CPU-contention axis).
     """
 
     def __init__(self, sim: Simulator, path: PathHandles, flow_id: str,
                  cca: CongestionControl, user_id: str = "",
-                 rwnd_bytes: int | None = None, ecn: bool = False):
+                 rwnd_bytes: int | None = None, ecn: bool = False,
+                 jitter=None):
         self.sim = sim
         self.path = path
         self.flow_id = flow_id
         self.connection = Connection(sim, path, flow_id, cca,
                                      user_id=user_id, rwnd_bytes=rwnd_bytes,
-                                     ecn=ecn)
+                                     ecn=ecn, jitter=jitter)
         self._stopped = False
 
     def start(self) -> None:

@@ -1,0 +1,119 @@
+"""Property tests for the scenario mutation operators.
+
+Every mutation of a valid scenario must itself validate, round-trip
+through ``to_dict``/``from_dict``, and change the scenario
+fingerprint -- across all 8 qdiscs x 9 CCAs and both families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qa.fuzz import MUTATORS, mutate_scenario, sample_scenario
+from repro.qa.scenario import (FLOW_CCAS, QDISC_NAMES, FlowSpec,
+                               Scenario, scenario_fingerprint)
+
+MUTATIONS_PER_PARENT = 6
+
+
+def _flows_scenario(qdisc: str, cca: str, seed: int = 11) -> Scenario:
+    return Scenario(
+        family="flows", rate_mbps=8.0, rtt_ms=20.0, qdisc=qdisc,
+        duration=3.0, seed=seed, buffer_multiplier=1.0,
+        flows=(FlowSpec(cca=cca, rate_frac=0.3, user_id="a",
+                        start=0.0, ecn=(cca == "dctcp")),),
+        cross_traffic="none")
+
+
+def _probe_scenario(seed: int = 11) -> Scenario:
+    return Scenario(family="probe", rate_mbps=20.0, rtt_ms=20.0,
+                    qdisc="droptail", duration=20.0, seed=seed,
+                    cross_traffic="reno")
+
+
+def _check_mutation(parent: Scenario, child: Scenario) -> None:
+    # Constructing the dataclass ran __post_init__ validation; the
+    # remaining properties are the serialization and identity
+    # contracts the guided search depends on.
+    assert isinstance(child, Scenario)
+    assert Scenario.from_dict(child.to_dict()) == child
+    assert (scenario_fingerprint(child)
+            != scenario_fingerprint(parent))
+    assert child.backend == parent.backend  # search manages backend
+
+
+@pytest.mark.parametrize("qdisc", QDISC_NAMES)
+def test_mutations_hold_properties_for_every_qdisc_and_cca(qdisc):
+    rng = np.random.default_rng(hash(qdisc) % (2**32))
+    for cca in FLOW_CCAS:
+        parent = _flows_scenario(qdisc, cca)
+        for _ in range(MUTATIONS_PER_PARENT):
+            _check_mutation(parent, mutate_scenario(parent, rng))
+
+
+def test_mutations_hold_properties_for_probe_family():
+    rng = np.random.default_rng(7)
+    parent = _probe_scenario()
+    for _ in range(50):
+        child = mutate_scenario(parent, rng)
+        _check_mutation(parent, child)
+        assert child.family == "probe"
+        parent = child  # walk the space, not just the root
+
+
+def test_mutation_chains_stay_valid_from_sampled_parents():
+    rng = np.random.default_rng(13)
+    for index in range(20):
+        parent = sample_scenario(index, seed=2)
+        for _ in range(MUTATIONS_PER_PARENT):
+            child = mutate_scenario(parent, rng)
+            _check_mutation(parent, child)
+            parent = child
+
+
+def test_every_operator_yields_valid_changed_scenarios():
+    rng = np.random.default_rng(23)
+    parents = [
+        _flows_scenario("fq", "cubic"),
+        _flows_scenario("droptail", "cbr"),
+        _probe_scenario(),
+        sample_scenario(3, seed=0),
+    ]
+    applied = set()
+    for parent in parents:
+        for mutator in MUTATORS:
+            for _ in range(4):
+                child = mutator(parent, rng)
+                if child is None:
+                    continue
+                applied.add(mutator.__name__)
+                _check_mutation(parent, child)
+    # Every operator must fire somewhere across these parents.
+    assert applied == {m.__name__ for m in MUTATORS}
+
+
+def test_mutation_is_deterministic_under_a_seeded_rng():
+    parent = _flows_scenario("red", "bbr")
+    first = [mutate_scenario(parent, np.random.default_rng(99))
+             for _ in range(1)]
+    second = [mutate_scenario(parent, np.random.default_rng(99))
+              for _ in range(1)]
+    assert first == second
+    walk_a, walk_b = [], []
+    rng_a, rng_b = (np.random.default_rng(5), np.random.default_rng(5))
+    cur_a = cur_b = parent
+    for _ in range(20):
+        cur_a = mutate_scenario(cur_a, rng_a)
+        cur_b = mutate_scenario(cur_b, rng_b)
+        walk_a.append(scenario_fingerprint(cur_a))
+        walk_b.append(scenario_fingerprint(cur_b))
+    assert walk_a == walk_b
+
+
+def test_jitter_mutator_explores_the_new_axis():
+    rng = np.random.default_rng(31)
+    parent = _probe_scenario()
+    seen = set()
+    for _ in range(200):
+        child = mutate_scenario(parent, rng)
+        seen.add(child.timing_jitter)
+    assert len(seen & {0.05, 0.15, 0.3}) >= 2

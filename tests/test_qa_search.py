@@ -1,0 +1,199 @@
+"""Coverage-guided search: determinism across worker counts, the
+robustness-envelope artifact and its store cache, corpus promotion of
+search-found failures, and (behind ``-m fuzz``) the guided-vs-random
+acceptance comparison."""
+
+import json
+
+import pytest
+
+from repro.qa.corpus import load_corpus, replay_case
+from repro.qa.oracles import FAULT_ENV
+from repro.qa.search import (build_envelope, diff_envelopes,
+                             envelope_cache_key, promote_failure,
+                             run_envelope, run_random_baseline,
+                             run_search)
+from repro.store.artifacts import ArtifactStore
+
+SMOKE_BUDGET = 24
+
+
+def _dumps(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+# -- determinism -----------------------------------------------------------
+
+def test_search_is_worker_count_invariant():
+    # The regression-locking property: same seed and budget must give
+    # a byte-identical report and corpus no matter the parallelism.
+    serial = run_search(SMOKE_BUDGET, seed=3, workers=1)
+    parallel = run_search(SMOKE_BUDGET, seed=3, workers=2)
+    assert _dumps(serial.to_dict()) == _dumps(parallel.to_dict())
+    assert serial.render() == parallel.render()
+    assert [e.cell_id for e in serial.corpus] \
+        == [e.cell_id for e in parallel.corpus]
+
+
+def test_search_report_shape():
+    report = run_search(SMOKE_BUDGET, seed=3, workers=2)
+    assert report.evaluated == SMOKE_BUDGET
+    assert 0 < report.feature_map.coverage <= 2 * SMOKE_BUDGET
+    assert report.corpus  # something was admitted
+    payload = report.to_dict()
+    assert payload["seed"] == 3 and payload["budget"] == SMOKE_BUDGET
+    assert payload["map"]["coverage"] == report.feature_map.coverage
+    assert len(payload["corpus"]) == len(report.corpus)
+
+
+# -- the envelope artifact -------------------------------------------------
+
+def test_envelope_is_store_cached_and_deterministic(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    cold, cold_cached = run_envelope(SMOKE_BUDGET, seed=3, store=store,
+                                     workers=2)
+    assert not cold_cached
+    warm, warm_cached = run_envelope(SMOKE_BUDGET, seed=3, store=store,
+                                     workers=2)
+    assert warm_cached
+    assert _dumps(cold) == _dumps(warm)
+    assert cold["kind"] == "qa-envelope"
+    assert cold["fingerprint"]
+    assert cold["coverage"] == len(cold["cells"])
+    assert all("pass" in stats for stats in cold["cells"].values())
+
+
+def test_envelope_cache_key_covers_the_inputs(monkeypatch):
+    base = envelope_cache_key(50, 0, 2.0)
+    assert envelope_cache_key(50, 0, 2.0) == base
+    assert envelope_cache_key(51, 0, 2.0) != base
+    assert envelope_cache_key(50, 1, 2.0) != base
+    assert envelope_cache_key(50, 0, 2.5) != base
+    monkeypatch.setenv(FAULT_ENV, "any")
+    assert envelope_cache_key(50, 0, 2.0) != base
+
+
+def test_envelope_matches_its_report():
+    report = run_search(SMOKE_BUDGET, seed=3, workers=2)
+    artifact = build_envelope(report)
+    assert artifact["coverage"] == report.feature_map.coverage
+    assert artifact["min_confidence"] \
+        == report.feature_map.min_confidence()
+    failing = [cid for cid, s in artifact["cells"].items()
+               if not s["pass"]]
+    assert len(artifact["failures"]) == len(report.failures)
+    for cell_id in failing:
+        assert artifact["cells"][cell_id]["failures"] > 0
+
+
+def test_diff_envelopes():
+    baseline = {"cells": {
+        "a": {"pass": True}, "b": {"pass": True},
+        "c": {"pass": False}, "gone": {"pass": True}}}
+    current = {"cells": {
+        "a": {"pass": True}, "b": {"pass": False},
+        "c": {"pass": True}, "fresh": {"pass": False}}}
+    delta = diff_envelopes(baseline, current)
+    assert delta["regressions"] == ["b"]
+    assert delta["fixed"] == ["c"]
+    assert delta["new_cells"] == ["fresh"]
+    assert delta["lost_cells"] == ["gone"]
+
+
+# -- failure promotion (search -> shrink -> corpus) ------------------------
+
+def test_search_failures_shrink_into_the_corpus(monkeypatch, tmp_path):
+    monkeypatch.setenv(FAULT_ENV, "cross:cbr")
+    report = run_search(48, seed=3, workers=2)
+    assert report.failures, "fault injection found nothing"
+    assert all(f.oracle == "injected-fault" for f in report.failures)
+    reproduced = report.reproduced_failures
+    assert reproduced, "injected fault must reproduce on packet"
+    failure = sorted(reproduced,
+                     key=lambda f: f.scenario.duration)[0]
+    case, runs = promote_failure(failure, seed=3, created="2026-08-09",
+                                 directory=tmp_path, max_runs=10)
+    assert runs <= 10
+    assert case.oracle == "injected-fault"
+    assert case.origin.startswith("search seed=3")
+    saved = load_corpus(tmp_path)
+    assert [c.name for c in saved] == [case.name]
+    # The shrunk case still triggers the same oracle on replay.
+    assert saved[0].scenario.cross_traffic == "cbr"
+    _, findings = replay_case(saved[0])
+    assert any(f.oracle == "injected-fault" for f in findings)
+
+
+def test_search_with_fault_is_still_worker_invariant(monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "cross:cbr")
+    serial = run_search(16, seed=3, workers=1)
+    parallel = run_search(16, seed=3, workers=2)
+    assert _dumps(serial.to_dict()) == _dumps(parallel.to_dict())
+
+
+# -- CLI and serve entry points --------------------------------------------
+
+def test_cli_search_smoke(capsys):
+    from repro.cli import main
+    assert main(["qa", "search", "--budget", "8", "--seed", "0",
+                 "--workers", "2", "--no-shrink"]) == 0
+    out = capsys.readouterr().out
+    assert "qa search seed=0 budget=8" in out
+    assert "8 scenarios searched" in out
+
+
+def test_cli_envelope_out_check_and_json(tmp_path, capsys,
+                                         monkeypatch):
+    from repro.cli import main
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+    out_file = tmp_path / "envelope.json"
+    assert main(["qa", "envelope", "--budget", "8", "--seed", "0",
+                 "--workers", "2", "--out", str(out_file)]) == 0
+    capsys.readouterr()
+    artifact = json.loads(out_file.read_text())
+    assert artifact["kind"] == "qa-envelope"
+    # Second run is a cache hit and the self-check reports no drift.
+    assert main(["qa", "envelope", "--budget", "8", "--seed", "0",
+                 "--check", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "0 regressions" in out
+    assert artifact["fingerprint"] in out
+
+
+def test_serve_executors_roundtrip(tmp_path):
+    from repro.serve.jobs import execute_qa_envelope, execute_qa_search
+    store = ArtifactStore(tmp_path / "store")
+    summary, payload = execute_qa_search(
+        {"budget": 8, "seed": 0}, store, 2)
+    assert summary["coverage"] > 0
+    assert payload["map"]["coverage"] == summary["coverage"]
+    cold, _ = execute_qa_envelope({"budget": 8, "seed": 0}, store, 2)
+    assert not cold["cached"]
+    warm, artifact = execute_qa_envelope({"budget": 8, "seed": 0},
+                                         store, 2)
+    assert warm["cached"]
+    assert warm["fingerprint"] == cold["fingerprint"]
+    assert artifact["fingerprint"] == warm["fingerprint"]
+
+
+# -- acceptance: guided vs random (nightly / -m fuzz) ----------------------
+
+@pytest.mark.fuzz
+def test_guided_search_beats_random_fuzzing_at_equal_budget():
+    budget, seed = 300, 0
+    report = run_search(budget, seed=seed, workers=None)
+    baseline = run_random_baseline(budget, seed=seed, workers=None)
+    guided = report.feature_map
+    assert guided.coverage >= 1.5 * baseline.coverage, (
+        f"guided={guided.coverage} random={baseline.coverage}")
+    gmin, rmin = guided.min_confidence(), baseline.min_confidence()
+    assert gmin is not None and rmin is not None
+    assert gmin <= rmin, f"guided min {gmin} vs random min {rmin}"
+
+
+@pytest.mark.fuzz
+def test_search_determinism_at_full_scale():
+    serial = run_search(64, seed=3, workers=1)
+    parallel = run_search(64, seed=3, workers=4)
+    assert _dumps(serial.to_dict()) == _dumps(parallel.to_dict())
+    assert serial.render() == parallel.render()
