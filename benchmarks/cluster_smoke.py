@@ -1,0 +1,214 @@
+"""CI smoke for the cluster fabric: speedup, byte-identity, failover.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/cluster_smoke.py
+
+Starts real ``repro serve`` subprocesses (each with its own store
+root) and drives the ISSUE-8 acceptance experiment end to end:
+
+1. A serial golden run of the reference campaign, timed.
+2. A 1-node clustered run: merged per-path store objects must be
+   byte-identical to the serial run's.
+3. A 2-node clustered run (fresh nodes, fresh local store): identical
+   bytes again, and -- on machines with >= 2 CPU cores -- at least a
+   1.7x wall-clock speedup over the 1-node run.
+4. A 2-node run where one node is SIGKILLed as soon as it is busy:
+   the coordinator re-dispatches its work and the merged result still
+   equals the serial golden run.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+#: The reference campaign: big enough that per-path simulation
+#: dominates HTTP dispatch overhead (~1s/path on a CI runner).
+PARAMS = {"n_paths": 16, "seed": 5, "duration": 2.0,
+          "backend": "packet"}
+SERVER_STARTUP_S = 30
+
+
+def check(label, condition, detail=""):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}{': ' + detail if detail else ''}")
+    if not condition:
+        raise SystemExit(f"cluster smoke failed: {label} ({detail})")
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_node(tmp, name, port):
+    env = dict(os.environ,
+               REPRO_STORE=os.path.join(tmp, f"node-{name}"),
+               PYTHONPATH="src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--concurrency", "1", "--job-workers", "1", "--rate", "0"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def wait_healthy(port, deadline):
+    from repro.serve import ServeClient
+    client = ServeClient(port=port, timeout=5.0, connect_timeout=1.0)
+    while time.time() < deadline:
+        try:
+            if client.healthz()["status"] == "ok":
+                return
+        except Exception:
+            time.sleep(0.2)
+    raise SystemExit(f"cluster smoke failed: node :{port} never "
+                     "became healthy")
+
+
+def clustered_run(tmp, label, ports):
+    """One clustered campaign into a fresh local store; returns
+    (store, result, wall_seconds)."""
+    from repro.cluster import run_clustered_campaign
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(os.path.join(tmp, f"local-{label}"))
+    spec = ",".join(f"127.0.0.1:{p}" for p in ports)
+    t0 = time.monotonic()
+    result = run_clustered_campaign(PARAMS, spec, store=store,
+                                    workers=1)
+    return store, result, time.monotonic() - t0
+
+
+def assert_matches_golden(label, store, result, golden_store, golden):
+    from repro.serve.jobs import campaign_from_params
+
+    campaign = campaign_from_params(PARAMS)
+    keys = [campaign.path_key(s) for s in campaign.specs]
+    identical = all(store.get_bytes(k) == golden_store.get_bytes(k)
+                    for k in keys)
+    check(f"{label}: per-path store objects byte-identical",
+          identical, f"{len(keys)} paths")
+    check(f"{label}: fraction_contending matches",
+          result.fraction_contending == golden.fraction_contending,
+          f"{result.fraction_contending:.3f}")
+    check(f"{label}: verdicts match",
+          [r.verdict for r in result.results] ==
+          [r.verdict for r in golden.results])
+
+
+def kill_when_busy(proc, port, stop):
+    """Watcher: SIGKILL ``proc`` the moment its node reports a job."""
+    from repro.serve import ServeClient
+
+    client = ServeClient(port=port, timeout=5.0, connect_timeout=1.0)
+    deadline = time.time() + 60
+    while time.time() < deadline and not stop.is_set():
+        try:
+            health = client.healthz()
+            if health.get("jobs", 0) >= 1:
+                proc.send_signal(signal.SIGKILL)
+                print(f"  killed node :{port} mid-run "
+                      f"(jobs={health['jobs']})")
+                return
+        except Exception:
+            pass
+        time.sleep(0.05)
+
+
+def main():
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..",
+                                    "src"))
+    from repro.serve.jobs import campaign_from_params
+    from repro.store import ArtifactStore
+
+    procs = []
+    with tempfile.TemporaryDirectory(
+            prefix="repro-cluster-smoke-") as tmp:
+        try:
+            print("phase 1: serial golden run")
+            golden_store = ArtifactStore(os.path.join(tmp, "serial"))
+            t0 = time.monotonic()
+            golden = campaign_from_params(PARAMS).run(
+                store=golden_store, workers=1)
+            t_serial = time.monotonic() - t0
+            print(f"  serial: {t_serial:.1f}s for "
+                  f"{PARAMS['n_paths']} paths")
+
+            print("phase 2: 1-node clustered run")
+            port_a = free_port()
+            procs.append(start_node(tmp, "a", port_a))
+            wait_healthy(port_a, time.time() + SERVER_STARTUP_S)
+            store1, result1, t_one = clustered_run(tmp, "one",
+                                                   [port_a])
+            print(f"  1 node: {t_one:.1f}s")
+            assert_matches_golden("1-node", store1, result1,
+                                  golden_store, golden)
+            procs.pop().terminate()
+
+            print("phase 3: 2-node clustered run (fresh nodes)")
+            port_b, port_c = free_port(), free_port()
+            procs.append(start_node(tmp, "b", port_b))
+            procs.append(start_node(tmp, "c", port_c))
+            wait_healthy(port_b, time.time() + SERVER_STARTUP_S)
+            wait_healthy(port_c, time.time() + SERVER_STARTUP_S)
+            store2, result2, t_two = clustered_run(
+                tmp, "two", [port_b, port_c])
+            print(f"  2 nodes: {t_two:.1f}s")
+            assert_matches_golden("2-node", store2, result2,
+                                  golden_store, golden)
+            cores = (len(os.sched_getaffinity(0))
+                     if hasattr(os, "sched_getaffinity")
+                     else os.cpu_count() or 1)
+            if cores >= 2:
+                check("2-node speedup >= 1.7x vs 1 node",
+                      t_one / t_two >= 1.7,
+                      f"{t_one / t_two:.2f}x")
+            else:
+                print(f"  [skip] speedup gate ({cores} CPU core: "
+                      "nodes share it, no parallelism to measure)")
+
+            print("phase 4: SIGKILL one node mid-run (fresh nodes)")
+            # Fresh nodes again: phase-3 stores would answer every
+            # shard from cache and the kill would never land mid-work.
+            while procs:
+                procs.pop().terminate()
+            port_d, port_e = free_port(), free_port()
+            procs.append(start_node(tmp, "d", port_d))
+            victim = start_node(tmp, "e", port_e)
+            procs.append(victim)
+            wait_healthy(port_d, time.time() + SERVER_STARTUP_S)
+            wait_healthy(port_e, time.time() + SERVER_STARTUP_S)
+            stop = threading.Event()
+            watcher = threading.Thread(
+                target=kill_when_busy, args=(victim, port_e, stop),
+                daemon=True)
+            watcher.start()
+            store3, result3, t_kill = clustered_run(
+                tmp, "kill", [port_d, port_e])
+            stop.set()
+            watcher.join(timeout=5)
+            check("victim was killed mid-run",
+                  victim.poll() is not None and victim.poll() != 0)
+            print(f"  converged in {t_kill:.1f}s with one node dead")
+            assert_matches_golden("failover", store3, result3,
+                                  golden_store, golden)
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+    print("cluster smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

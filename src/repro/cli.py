@@ -24,6 +24,10 @@ Subcommands:
   HTTP server accepting campaign/pipeline/sweep/qa-fuzz/qa-search/
   qa-envelope requests as JSON, with request coalescing, store-backed
   cache hits, rate limiting, and graceful drain (see SERVING.md).
+* ``repro cluster status`` -- probe a federation of serve nodes and
+  list local cluster-run manifests; ``repro run ... --cluster`` and
+  ``repro qa search --cluster`` shard their inner work across those
+  nodes and merge results back (see SERVING.md, "Cluster mode").
 
 Machine-readable output: ``run`` / ``trace`` / ``metrics`` / ``qa
 fuzz`` / ``qa corpus`` accept ``--json``, printing a single JSON
@@ -143,7 +147,32 @@ def _resolve_experiment(args):
         else:
             print(f"note: {args.experiment} takes no backend; ignoring",
                   file=sys.stderr)
+    if getattr(args, "cluster", None):
+        if "cluster" in accepted:
+            params["cluster"] = args.cluster
+        else:
+            print(f"note: {args.experiment} takes no cluster; ignoring",
+                  file=sys.stderr)
     return run_fn, params
+
+
+def _parse_qdisc_thresholds(pairs) -> dict[str, float] | None:
+    """Parse repeated ``--qdisc-threshold name=value`` flags."""
+    if not pairs:
+        return None
+    from .errors import ConfigError
+    out: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ConfigError(f"bad --qdisc-threshold {pair!r} "
+                              "(expected qdisc=value)")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            raise ConfigError(f"bad --qdisc-threshold {pair!r}: "
+                              f"{value!r} is not a number")
+    return out
 
 
 def _cli_store(args):
@@ -159,11 +188,13 @@ def _experiment_key(name: str, params: dict) -> str:
 
     ``workers`` is excluded: the determinism contract makes results
     worker-count invariant, so a run at ``--workers 8`` can serve the
-    same config at ``--workers 1``.
+    same config at ``--workers 1``.  ``cluster`` likewise: a clustered
+    campaign is byte-identical to a local one, so either can serve
+    the other.
     """
     from .store import fingerprint
     payload = {k: v for k, v in params.items()
-               if k not in ("workers", "resume")}
+               if k not in ("workers", "resume", "cluster")}
     return fingerprint({"experiment": name, "params": payload},
                        kind="experiment")
 
@@ -460,9 +491,20 @@ def cmd_qa_search(args) -> int:
 
     from .qa.search import promote_failure, run_search
 
+    qdisc_thresholds = _parse_qdisc_thresholds(
+        getattr(args, "qdisc_threshold", None))
     t0 = _time.time()
-    report = run_search(args.budget, seed=args.seed,
-                        workers=args.workers, threshold=args.threshold)
+    if getattr(args, "cluster", None):
+        from .cluster import run_clustered_search
+        report = run_clustered_search(
+            args.budget, args.cluster, seed=args.seed,
+            threshold=args.threshold, store=_cli_store(args),
+            qdisc_thresholds=qdisc_thresholds)
+    else:
+        report = run_search(args.budget, seed=args.seed,
+                            workers=args.workers,
+                            threshold=args.threshold,
+                            qdisc_thresholds=qdisc_thresholds)
     if args.json:
         _print_json(report.to_dict())
     else:
@@ -498,7 +540,9 @@ def cmd_qa_envelope(args) -> int:
     t0 = _time.time()
     artifact, cached = run_envelope(
         args.budget, seed=args.seed, store=_cli_store(args),
-        workers=args.workers, threshold=args.threshold)
+        workers=args.workers, threshold=args.threshold,
+        qdisc_thresholds=_parse_qdisc_thresholds(
+            getattr(args, "qdisc_threshold", None)))
     if args.out:
         with open(args.out, "w") as fh:
             _json.dump(artifact, fh, indent=2, sort_keys=True,
@@ -622,6 +666,61 @@ def cmd_serve(args) -> int:
     return 0 if clean else 1
 
 
+def cmd_cluster(args) -> int:
+    """``repro cluster status``: probe every node, list run manifests."""
+    from .cluster import (Membership, collect_metrics, list_journals,
+                          parse_cluster)
+    from .serve.client import ServeClient
+    from .store import ArtifactStore
+
+    membership = Membership(parse_cluster(args.nodes))
+    membership.tick()
+    rows = membership.status()
+    journals = list_journals(ArtifactStore(args.root))
+    if args.json:
+        payload = {"nodes": rows, "journals": journals}
+        if args.metrics:
+            payload["metrics"] = collect_metrics(
+                [ServeClient(n.host, n.port, timeout=10.0,
+                             connect_timeout=2.0)
+                 for n in membership.nodes])
+        _print_json(payload)
+        return 0 if membership.live() else 1
+    for row in rows:
+        health = row["health"]
+        extra = ""
+        if health:
+            extra = (f"  queued={health.get('queued', '?')} "
+                     f"running={health.get('running', '?')} "
+                     f"jobs={health.get('jobs', '?')}")
+        print(f"{row['node']:24s} {row['state']:9s}{extra}")
+    live = len(membership.live())
+    print(f"{live}/{len(membership.nodes)} nodes live")
+    if journals:
+        print("cluster runs (local journal):")
+        for row in journals:
+            counts = " ".join(f"{k}={v}" for k, v
+                              in row["by_status"].items())
+            print(f"  {row['run'][:16]}  {row['status']:9s} "
+                  f"{row['tasks']} tasks  {counts}")
+    if args.metrics:
+        merged = collect_metrics(
+            [ServeClient(n.host, n.port, timeout=10.0,
+                         connect_timeout=2.0)
+             for n in membership.nodes])
+        print("merged cluster metrics:")
+        for name, entry in sorted(merged.items()):
+            if entry["type"] == "histogram":
+                count = entry["count"]
+                mean = entry["sum"] / count if count else 0.0
+                print(f"  {name:40s} histogram n={count} "
+                      f"mean={mean:.6g}")
+            else:
+                print(f"  {name:40s} {entry['type']} "
+                      f"{entry['value']:.6g}")
+    return 0 if live else 1
+
+
 def cmd_synth_ndt(args) -> int:
     """``repro synth-ndt``: write a synthetic NDT dataset as JSONL."""
     from .ndt.synth import SyntheticNdtGenerator
@@ -674,6 +773,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulation backend for experiments that "
                             "accept one (fluid = rate-based fast path, "
                             "20-50x faster; see DESIGN.md)")
+    p_run.add_argument("--cluster", metavar="NODES",
+                       help="shard the experiment's inner work across "
+                            "repro serve nodes (host1:8765,host2,...) "
+                            "and merge results into the local store; "
+                            "byte-identical to a local run "
+                            "(see SERVING.md)")
     add_cache_flags(p_run)
     add_json_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
@@ -791,6 +896,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="max failures to shrink after the search")
     p_search.add_argument("--no-shrink", action="store_true",
                           help="report failures without shrinking them")
+    p_search.add_argument("--cluster", metavar="NODES",
+                          help="evaluate candidates across repro serve "
+                               "nodes (host1:8765,...); the report "
+                               "stays byte-identical to a local run")
+    p_search.add_argument("--qdisc-threshold", action="append",
+                          metavar="QDISC=VALUE",
+                          help="per-qdisc detector-threshold override "
+                               "for the confidence axis (repeatable)")
     add_json_flag(p_search)
     p_search.set_defaults(fn=cmd_qa_search)
     p_envelope = qa_sub.add_parser(
@@ -811,6 +924,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="diff against a baseline envelope "
                                  "JSON; exit 1 on pass->fail "
                                  "regressions")
+    p_envelope.add_argument("--qdisc-threshold", action="append",
+                            metavar="QDISC=VALUE",
+                            help="per-qdisc detector-threshold "
+                                 "override; recorded in the "
+                                 "artifact's detectors matrix "
+                                 "(repeatable)")
     add_json_flag(p_envelope)
     p_envelope.set_defaults(fn=cmd_qa_envelope)
     p_shrink = qa_sub.add_parser(
@@ -863,6 +982,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "SIGTERM before checkpointing them")
     add_cache_flags(p_serve, with_resume=False)
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="coordinate work across repro serve nodes")
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command",
+                                           required=True)
+    p_cstatus = cluster_sub.add_parser(
+        "status", help="probe every node and list cluster-run "
+                       "manifests")
+    p_cstatus.add_argument("--nodes", required=True, metavar="NODES",
+                           help="comma-separated host[:port] list")
+    p_cstatus.add_argument("--root",
+                           help="local store root (default: "
+                                "$REPRO_STORE, then ~/.cache/repro)")
+    p_cstatus.add_argument("--metrics", action="store_true",
+                           help="also print the merged cluster-wide "
+                                "metrics snapshot")
+    add_json_flag(p_cstatus)
+    p_cstatus.set_defaults(fn=cmd_cluster)
     return parser
 
 

@@ -1,0 +1,83 @@
+"""Pulling results back: store objects and metrics across nodes.
+
+Remote nodes execute shards and checkpoint per-task objects in their
+own stores; the coordinator pulls those objects over the serve
+``GET /store/<key>`` endpoint and writes them into the local store
+**byte-for-byte** (:meth:`ArtifactStore.put_bytes`).  Because every
+object is content-addressed by the fingerprint of the config that
+produced it, the merge is idempotent: pulling an object twice, from
+two nodes, or concurrently with a local computation of the same key
+always converges to the same store state.
+
+Metrics use the same trick at a different layer: node registries are
+commutative (counters and histogram buckets add, gauges take max --
+:meth:`repro.obs.metrics.MetricsRegistry.merge`), so a cluster-wide
+snapshot is just every node's ``/metrics`` folded into one fresh
+registry.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from ..errors import ClusterError
+from ..obs.metrics import REGISTRY as _METRICS
+from ..obs.metrics import MetricsRegistry
+from ..serve.client import ServeClient, ServeError
+from ..store.artifacts import ArtifactStore
+
+
+def pull_objects(client: ServeClient, store: ArtifactStore,
+                 keys, kind: str = "generic", label: str = "") -> int:
+    """Pull every missing ``key`` from ``client``'s node into
+    ``store``; returns how many objects actually transferred.
+
+    Each transfer is validated by unpickling before it is written, so
+    a truncated response can never plant an unreadable object locally.
+
+    Raises:
+        ServeError: the node became unreachable, or lacks a key it
+            was expected to hold (the caller decides whether to
+            re-dispatch or fall back to local execution).
+        ClusterError: a transferred object failed to unpickle.
+    """
+    metrics = _METRICS.scoped("cluster")
+    pulled = 0
+    for key in keys:
+        if key in store:
+            metrics.counter("merge_skipped").inc()
+            continue
+        data = client.fetch_store(key)
+        try:
+            pickle.loads(data)
+        except Exception as exc:
+            raise ClusterError(
+                f"object {key[:16]}... from {client.host}:{client.port} "
+                f"does not unpickle: {exc!r}")
+        store.put_bytes(key, data, kind=kind, label=label)
+        pulled += 1
+        metrics.counter("merge_objects").inc()
+        metrics.counter("merge_bytes").inc(len(data))
+    return pulled
+
+
+def collect_metrics(clients) -> dict:
+    """One merged metrics snapshot across ``clients``' nodes.
+
+    Unreachable nodes are skipped (their counters are simply absent);
+    the result is the same commutative merge worker processes already
+    use, so double counting is impossible by construction.
+    """
+    merged = MetricsRegistry()
+    reachable = 0
+    for client in clients:
+        try:
+            snapshot = client.metrics()
+        except ServeError:
+            continue
+        merged.merge(snapshot)
+        reachable += 1
+    out = merged.snapshot()
+    out["cluster.nodes_reporting"] = {"type": "gauge",
+                                      "value": float(reachable)}
+    return out

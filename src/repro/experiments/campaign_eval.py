@@ -36,7 +36,8 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
         roc_thresholds: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0, 6.0, 9.0),
         workers: int | None = None,
         resume: bool = False,
-        backend: str = "packet") -> ExperimentResult:
+        backend: str = "packet",
+        cluster: str | None = None) -> ExperimentResult:
     """Run the campaign and evaluate the hypothesis.
 
     ``workers`` fans the per-path probe simulations out over processes
@@ -47,13 +48,23 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
     ally skips paths a prior interrupted run quarantined as failing.
     ``backend`` selects "packet" (the event-driven reference) or
     "fluid" (20-50x faster; see DESIGN.md for the validity envelope).
+    ``cluster`` ("host1:8765,host2:...") shards the per-path work
+    across ``repro serve`` nodes and merges results back into the
+    local store -- byte-identical to a local run (SERVING.md).
     """
     with Stopwatch() as watch:
-        campaign = Campaign(n_paths=n_paths, seed=seed,
-                            duration=duration,
-                            fq_fraction=fq_fraction,
-                            backend=backend).run(workers=workers,
-                                                 resume=resume)
+        if cluster:
+            from ..cluster import run_clustered_campaign
+            campaign = run_clustered_campaign(
+                {"n_paths": n_paths, "seed": seed, "duration": duration,
+                 "fq_fraction": fq_fraction, "backend": backend},
+                cluster, workers=workers, resume=resume)
+        else:
+            campaign = Campaign(n_paths=n_paths, seed=seed,
+                                duration=duration,
+                                fq_fraction=fq_fraction,
+                                backend=backend).run(workers=workers,
+                                                     resume=resume)
         evaluation = evaluate_hypothesis(campaign)
         roc = _roc_rows(campaign, roc_thresholds)
         groups = campaign.by_cross_traffic()

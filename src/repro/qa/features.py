@@ -4,7 +4,8 @@ Coverage-guided fuzzing needs a notion of "somewhere new".  A
 :class:`FeatureCell` coarsens one scenario *and its outcome* into a
 tuple of categorical features -- qdisc, CCA-mix class, cross-traffic
 type, load ratio, buffer depth, timing-jitter level, backend, plus
-two outcome-derived buckets (detector-confidence and probe-share) --
+three outcome-derived buckets (detector-confidence, probe-share, and
+queue residency) --
 and the :class:`FeatureMap` keeps per-cell statistics: hit counts,
 failures, and the lowest detector confidence seen.  A scenario is
 interesting (and enters the search corpus) when it lands in a cell
@@ -19,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..sim.network import default_buffer_packets
+from ..units import mbps, ms
 from .scenario import Scenario, ScenarioOutcome
 
 #: CCA behaviour classes: how a CCA reacts to congestion signals is
@@ -38,6 +41,12 @@ LOW_JITTER_MAX = 0.15
 #: detector threshold): below the first edge a single perturbation
 #: flips the verdict.
 CONFIDENCE_EDGES = ((0.25, "critical"), (1.0, "low"), (2.5, "mid"))
+
+#: Queue-residency occupancy edges (end-of-run residual packets over
+#: the configured buffer): at or above the second edge the buffer is
+#: effectively full, above the first a standing queue formed.
+RESIDENCY_STANDING = 0.25
+RESIDENCY_FULL = 0.9
 
 
 def cca_mix_class(scenario: Scenario) -> str:
@@ -83,6 +92,37 @@ def jitter_bucket(scenario: Scenario) -> str:
     return "high"
 
 
+def queue_residency_bucket(scenario: Scenario,
+                           outcome: ScenarioOutcome) -> str:
+    """Where the bottleneck queue ended up, as an outcome feature.
+
+    Standing queues are what separate a detector seeing *contention*
+    from one seeing *its own self-induced delay*, so the end-of-run
+    residual occupancy (relative to the configured buffer) is a
+    coverage axis in its own right:
+
+    * ``empty`` -- no residual and no drops: the queue drained.
+    * ``transient`` -- drops happened or a small residual remains, but
+      occupancy stayed under :data:`RESIDENCY_STANDING`.
+    * ``standing`` -- a persistent queue holds a quarter to ~90% of
+      the buffer.
+    * ``full`` -- the run ended with the buffer essentially full.
+    """
+    buf = default_buffer_packets(mbps(scenario.rate_mbps),
+                                 ms(scenario.rtt_ms),
+                                 scenario.buffer_multiplier)
+    stats = outcome.qdisc_stats
+    occupancy = (stats.get("residual_packets", 0.0) / buf
+                 if buf > 0 else 0.0)
+    if occupancy >= RESIDENCY_FULL:
+        return "full"
+    if occupancy >= RESIDENCY_STANDING:
+        return "standing"
+    if occupancy > 0.0 or stats.get("drops", 0.0) > 0:
+        return "transient"
+    return "empty"
+
+
 def detector_confidence(outcome: ScenarioOutcome,
                         threshold: float = 2.0) -> float | None:
     """Distance of the probe's mean elasticity from the verdict
@@ -124,12 +164,17 @@ class FeatureCell:
     backend: str
     confidence: str
     probe_share: str
+    queue: str = "empty"
 
     def as_id(self) -> str:
-        """Stable string id (the map's dict key and report row key)."""
+        """Stable string id (the map's dict key and report row key).
+
+        New axes append at the end, so positional consumers of older
+        ids (e.g. jitter at index 5) keep working.
+        """
         return "|".join((self.qdisc, self.mix, self.cross, self.load,
                          self.buffer, self.jitter, self.backend,
-                         self.confidence, self.probe_share))
+                         self.confidence, self.probe_share, self.queue))
 
 
 def feature_cell(scenario: Scenario, outcome: ScenarioOutcome,
@@ -146,6 +191,7 @@ def feature_cell(scenario: Scenario, outcome: ScenarioOutcome,
         confidence=confidence_bucket(
             detector_confidence(outcome, threshold)),
         probe_share=probe_share_bucket(outcome),
+        queue=queue_residency_bucket(scenario, outcome),
     )
 
 
@@ -155,13 +201,36 @@ class FeatureMap:
     ``observe`` returns what made the observation interesting (a new
     cell, or a new per-cell confidence minimum), which is exactly the
     corpus-admission rule of :mod:`repro.qa.search`.
+
+    Args:
+        threshold: the detector's elasticity verdict threshold.
+        qdisc_thresholds: optional per-qdisc overrides -- an AQM that
+            reshapes elasticity readings (codel, cake) can be judged
+            against its own calibrated threshold, so the envelope's
+            confidence axis compares like with like across qdiscs.
     """
 
-    def __init__(self, threshold: float = 2.0):
+    def __init__(self, threshold: float = 2.0,
+                 qdisc_thresholds: dict[str, float] | None = None):
         if threshold <= 0:
             raise ConfigError(f"threshold must be positive: {threshold}")
         self.threshold = threshold
+        self.qdisc_thresholds: dict[str, float] = {}
+        for qdisc, value in (qdisc_thresholds or {}).items():
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise ConfigError(f"threshold for {qdisc!r} must be "
+                                  f"a number: {value!r}")
+            if value <= 0:
+                raise ConfigError(f"threshold for {qdisc!r} must be "
+                                  f"positive: {value}")
+            self.qdisc_thresholds[str(qdisc)] = value
         self.cells: dict[str, dict] = {}
+
+    def threshold_for(self, qdisc: str) -> float:
+        """The effective verdict threshold for one qdisc."""
+        return self.qdisc_thresholds.get(qdisc, self.threshold)
 
     def observe(self, scenario: Scenario, outcome: ScenarioOutcome,
                 failed: bool = False) -> tuple[FeatureCell, bool, bool]:
@@ -172,8 +241,9 @@ class FeatureMap:
             previously unseen, and whether this run set a new per-cell
             detector-confidence minimum.
         """
-        cell = feature_cell(scenario, outcome, self.threshold)
-        confidence = detector_confidence(outcome, self.threshold)
+        threshold = self.threshold_for(scenario.qdisc)
+        cell = feature_cell(scenario, outcome, threshold)
+        confidence = detector_confidence(outcome, threshold)
         cell_id = cell.as_id()
         stats = self.cells.get(cell_id)
         new_cell = stats is None
@@ -207,6 +277,8 @@ class FeatureMap:
         """Deterministic plain-dict form (cells sorted by id)."""
         return {
             "threshold": self.threshold,
+            "qdisc_thresholds": dict(sorted(
+                self.qdisc_thresholds.items())),
             "coverage": self.coverage,
             "min_confidence": self.min_confidence(),
             "cells": {

@@ -27,6 +27,7 @@ changes wall-clock time only, never a byte of output.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 from dataclasses import dataclass, field
@@ -289,7 +290,9 @@ def _pick_minimize_parent(corpus: list["SearchEntry"],
 
 def run_search(budget: int, seed: int = 0, workers: int | None = 1,
                threshold: float = 2.0,
-               progress: Callable[[int, int], None] | None = None
+               progress: Callable[[int, int], None] | None = None,
+               qdisc_thresholds: dict[str, float] | None = None,
+               evaluate: Callable[[list[Scenario]], list] | None = None
                ) -> SearchReport:
     """Run a ``budget``-scenario coverage-guided search campaign.
 
@@ -302,15 +305,30 @@ def run_search(budget: int, seed: int = 0, workers: int | None = 1,
             is bit-identical for any worker count).
         threshold: detector threshold the confidence buckets center on.
         progress: called as ``progress(evaluated, budget)``.
+        qdisc_thresholds: per-qdisc threshold overrides for the
+            confidence axis (see :class:`FeatureMap`).
+        evaluate: batch evaluator ``fn(scenarios) -> [(outcome,
+            findings), ...]`` in submission order; defaults to a local
+            :class:`ParallelExecutor`.  This is the cluster seam
+            (:func:`repro.cluster.cluster_evaluator`): generation
+            stays sequential and local either way, so any evaluator
+            that returns what :func:`_run_search_scenario` returns
+            preserves the determinism contract byte for byte.
     """
     rng = np.random.default_rng(derive_seed(seed, 0, "qa-search"))
     fresh_seed = derive_seed(seed, 1, "qa-search-fresh")
-    fmap = FeatureMap(threshold)
+    fmap = FeatureMap(threshold, qdisc_thresholds)
     report = SearchReport(seed=seed, budget=budget, threshold=threshold,
                           feature_map=fmap)
     fresh_index = 0
     visits: dict[str, int] = {}
-    with ParallelExecutor(workers=workers) as executor:
+    with contextlib.ExitStack() as stack:
+        if evaluate is None:
+            executor = stack.enter_context(
+                ParallelExecutor(workers=workers))
+
+            def evaluate(batch):
+                return executor.map(_run_search_scenario, batch)
         while report.evaluated < budget:
             batch_size = min(SEARCH_BATCH, budget - report.evaluated)
             batch: list[Scenario] = []
@@ -354,9 +372,9 @@ def run_search(budget: int, seed: int = 0, workers: int | None = 1,
                 key = _projection(candidate)
                 visits[key] = visits.get(key, 0) + 1
                 batch.append(candidate)
-            results = executor.map(_run_search_scenario, batch)
+            results = evaluate(batch)
             # State updates are applied sequentially in submission
-            # order (executor.map preserves order).
+            # order (the evaluator preserves order).
             for scenario, (outcome, findings) in zip(batch, results):
                 report.evaluated += 1
                 failed = bool(findings)
@@ -369,8 +387,9 @@ def run_search(budget: int, seed: int = 0, workers: int | None = 1,
                     report.corpus.append(SearchEntry(
                         scenario=scenario,
                         cell_id=cell.as_id(),
-                        confidence=detector_confidence(outcome,
-                                                       threshold)))
+                        confidence=detector_confidence(
+                            outcome,
+                            fmap.threshold_for(scenario.qdisc))))
                 if progress is not None:
                     progress(report.evaluated, budget)
     return report
@@ -431,10 +450,21 @@ def build_envelope(report: SearchReport,
     A cell *passes* when no failure was observed in it; the artifact
     carries the full confidence surface, so two envelopes from
     different PRs diff cell by cell (:func:`diff_envelopes`).
+
+    The ``detectors`` matrix records the effective detector config per
+    qdisc: the default config plus one entry for every per-qdisc
+    threshold override the search ran with, so an envelope is
+    self-describing about *which* detector each cell's confidence axis
+    was judged against.
     """
     det = detector if detector is not None else ContentionDetector(
         threshold=report.threshold)
     surface = report.feature_map.to_dict()
+    detectors = {"default": det.fingerprint_config()}
+    for qdisc, value in sorted(
+            report.feature_map.qdisc_thresholds.items()):
+        detectors[qdisc] = ContentionDetector(
+            threshold=value).fingerprint_config()
     payload = {
         "schema": ENVELOPE_SCHEMA,
         "kind": "qa-envelope",
@@ -442,6 +472,8 @@ def build_envelope(report: SearchReport,
         "seed": report.seed,
         "budget": report.budget,
         "detector": det.fingerprint_config(),
+        "detectors": detectors,
+        "qdisc_thresholds": surface["qdisc_thresholds"],
         "coverage": surface["coverage"],
         "min_confidence": surface["min_confidence"],
         "cells": {
@@ -455,12 +487,14 @@ def build_envelope(report: SearchReport,
 
 
 def envelope_cache_key(budget: int, seed: int, threshold: float,
-                       detector: ContentionDetector | None = None) -> str:
+                       detector: ContentionDetector | None = None,
+                       qdisc_thresholds: dict[str, float] | None = None
+                       ) -> str:
     """Store key for a cached envelope (covers everything the artifact
     is a function of, including any injected fault)."""
     det = detector if detector is not None else ContentionDetector(
         threshold=threshold)
-    return fingerprint({
+    config = {
         "kind": "qa-envelope-job",
         "suite": SUITE_VERSION,
         "seed": seed,
@@ -468,14 +502,22 @@ def envelope_cache_key(budget: int, seed: int, threshold: float,
         "threshold": threshold,
         "detector": det.fingerprint_config(),
         "fault": os.environ.get(FAULT_ENV, ""),
-    }, kind="qa-envelope-job")
+    }
+    if qdisc_thresholds:
+        # Only present when overridden, so plain-envelope keys are
+        # unchanged by the feature's existence.
+        config["qdisc_thresholds"] = dict(
+            sorted((str(k), float(v))
+                   for k, v in qdisc_thresholds.items()))
+    return fingerprint(config, kind="qa-envelope-job")
 
 
 def run_envelope(budget: int, seed: int = 0,
                  store: ArtifactStore | None = None,
                  workers: int | None = 1, threshold: float = 2.0,
                  detector: ContentionDetector | None = None,
-                 progress: Callable[[int, int], None] | None = None
+                 progress: Callable[[int, int], None] | None = None,
+                 qdisc_thresholds: dict[str, float] | None = None
                  ) -> tuple[dict, bool]:
     """Produce (or fetch) the robustness-envelope artifact.
 
@@ -483,13 +525,15 @@ def run_envelope(budget: int, seed: int = 0,
         (artifact, cached): the envelope dict and whether it came out
         of the store instead of a fresh search.
     """
-    key = envelope_cache_key(budget, seed, threshold, detector)
+    key = envelope_cache_key(budget, seed, threshold, detector,
+                             qdisc_thresholds)
     if store is not None:
         hit = store.get(key)
         if hit is not None:
             return hit, True
     report = run_search(budget, seed=seed, workers=workers,
-                        threshold=threshold, progress=progress)
+                        threshold=threshold, progress=progress,
+                        qdisc_thresholds=qdisc_thresholds)
     artifact = build_envelope(report, detector)
     if store is not None:
         store.put(key, artifact, kind="qa-envelope",

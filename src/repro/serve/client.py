@@ -51,17 +51,27 @@ class ServeClient:
 
     Args:
         host / port: where the server listens.
-        timeout: per-request socket timeout (seconds).
+        timeout: per-request read timeout (seconds) -- how long one
+            response may take once the connection is up.
         client_id: identity sent with every request (rate limiting);
             defaults to the server-observed peer address.
+        connect_timeout: TCP connect timeout (seconds); defaults to
+            ``timeout``.  Distinct from both the read timeout and any
+            job-level deadline, so a hung or unreachable node fails a
+            coordinator's dispatch attempt in ``connect_timeout``
+            seconds instead of stalling it for a job's lifetime.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 30.0, client_id: str | None = None):
+                 timeout: float = 30.0, client_id: str | None = None,
+                 connect_timeout: float | None = None):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.client_id = client_id
+        self.connect_timeout = (connect_timeout
+                                if connect_timeout is not None
+                                else timeout)
 
     # -- plumbing --------------------------------------------------------
 
@@ -71,10 +81,24 @@ class ServeClient:
             headers["X-Repro-Client"] = self.client_id
         return headers
 
+    def _connect(self) -> http.client.HTTPConnection:
+        """Open one connection: connect under ``connect_timeout``, then
+        rearm the socket with the read ``timeout``."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.connect_timeout)
+        try:
+            conn.connect()
+        except (ConnectionError, OSError) as exc:
+            conn.close()
+            raise ServeError(0, f"cannot reach {self.host}:"
+                                f"{self.port}: {exc}")
+        if conn.sock is not None:
+            conn.sock.settimeout(self.timeout)
+        return conn
+
     def _request(self, method: str, path: str,
                  body: Mapping | None = None) -> dict:
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
+        conn = self._connect()
         try:
             data = json.dumps(body).encode() if body is not None else None
             try:
@@ -108,6 +132,41 @@ class ServeClient:
     def metrics(self) -> dict:
         """The server's obs metrics registry snapshot."""
         return self._request("GET", "/metrics")["metrics"]
+
+    def fetch_store(self, key: str) -> bytes:
+        """Raw pickled object bytes from the server's artifact store.
+
+        The cluster-merge transfer primitive (``GET /store/<key>``):
+        the response body is exactly what the remote store holds under
+        the content address ``key``, suitable for
+        :meth:`repro.store.ArtifactStore.put_bytes`.
+
+        Raises:
+            ServeError: 404 on a missing key, 400 on a malformed one,
+                503 when the server runs without a store, 0 on
+                transport failures.
+        """
+        conn = self._connect()
+        try:
+            try:
+                conn.request("GET", f"/store/{key}",
+                             headers=self._headers())
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServeError(0, f"cannot reach {self.host}:"
+                                    f"{self.port}: {exc}")
+            if response.status >= 400:
+                try:
+                    payload = json.loads(raw.decode() or "{}")
+                except ValueError:
+                    payload = {"error": raw.decode(errors="replace")}
+                raise ServeError(response.status,
+                                 payload.get("error", response.reason),
+                                 payload)
+            return raw
+        finally:
+            conn.close()
 
     def drain(self) -> dict:
         """Ask the server to drain and shut down gracefully."""
@@ -173,8 +232,7 @@ class ServeClient:
         Yields one parsed JSON document per transition (the server's
         chunked NDJSON stream, decoded by ``http.client``).
         """
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
+        conn = self._connect()
         try:
             conn.request("GET", f"/jobs/{job_id}/events",
                          headers=self._headers())

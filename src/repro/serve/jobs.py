@@ -73,11 +73,13 @@ def _float_param(params: dict, name: str, default: float) -> float:
     return float(value)
 
 
-def execute_campaign(params: dict, store, workers) -> tuple[dict, object]:
-    """``campaign`` jobs: a §3.2-style measurement study (E7).
+def campaign_from_params(params: dict):
+    """Build the :class:`Campaign` a params document describes.
 
-    Runs through :meth:`Campaign.run` with the service's store, so
-    every completed path checkpoints and an interrupted job resumes.
+    Shared by ``campaign`` jobs and the cluster fabric's ``paths``
+    shards: a coordinator and its worker nodes construct campaigns
+    from the *same* params dict, so their per-path store fingerprints
+    agree and merged shard results assemble byte-identically.
     """
     from ..core.campaign import Campaign
 
@@ -85,12 +87,21 @@ def execute_campaign(params: dict, store, workers) -> tuple[dict, object]:
     if backend not in ("packet", "fluid"):
         raise ConfigError(
             f"param 'backend' must be 'packet' or 'fluid': {backend!r}")
-    campaign = Campaign(
+    return Campaign(
         n_paths=_int_param(params, "n_paths", 40),
         seed=_int_param(params, "seed", 0, minimum=0),
         duration=_float_param(params, "duration", 30.0),
         fq_fraction=float(params.get("fq_fraction", 0.3)),
         backend=backend)
+
+
+def execute_campaign(params: dict, store, workers) -> tuple[dict, object]:
+    """``campaign`` jobs: a §3.2-style measurement study (E7).
+
+    Runs through :meth:`Campaign.run` with the service's store, so
+    every completed path checkpoints and an interrupted job resumes.
+    """
+    campaign = campaign_from_params(params)
     result = campaign.run(store=store, workers=workers,
                           resume=bool(params.get("resume", False)))
     outcome = [{"contending": r.verdict.contending,
@@ -107,6 +118,94 @@ def execute_campaign(params: dict, store, workers) -> tuple[dict, object]:
                                           kind="campaign-outcome"),
     }
     return summary, result
+
+
+def execute_paths(params: dict, store, workers) -> tuple[dict, object]:
+    """``paths`` jobs: one shard of a campaign -- a subset of its
+    paths, named by index.
+
+    The cluster coordinator's unit of dispatch: the node rebuilds the
+    full campaign from the same params, runs only ``indices``, and
+    checkpoints every path under the exact store key the coordinator
+    computed -- which is what makes the shard's results pullable (and
+    the merge idempotent) by content address.
+    """
+    import functools as _functools
+
+    from ..core.campaign import run_path
+    from ..runtime import FaultPolicy
+    from ..store.scheduler import ResumableScheduler
+
+    if store is None:
+        raise ConfigError("'paths' jobs need a store (the shard's "
+                          "results travel by content address)")
+    campaign = campaign_from_params(params)
+    indices = params.get("indices")
+    if (not isinstance(indices, (list, tuple)) or not indices
+            or not all(isinstance(i, int) and not isinstance(i, bool)
+                       and 0 <= i < len(campaign.specs)
+                       for i in indices)):
+        raise ConfigError(
+            f"param 'indices' must be a non-empty array of path "
+            f"indices in [0, {len(campaign.specs)}): {indices!r}")
+    specs = [campaign.specs[i] for i in indices]
+    keys = [campaign.path_key(s) for s in specs]
+    labels = [f"path[{i}] {s.cross_traffic}@{s.qdisc} "
+              f"{s.rate_mbps:g}mbps/{s.rtt_ms:g}ms seed={s.seed}"
+              for i, s in zip(indices, specs)]
+    job = _functools.partial(run_path, duration=campaign.duration,
+                             detector=campaign.detector,
+                             backend=campaign.backend)
+    shard_key = fingerprint(
+        {"campaign": campaign.fingerprint(), "indices": list(indices)},
+        kind="paths-shard")
+    scheduler = ResumableScheduler(store, shard_key, kind="path")
+    report = scheduler.run(job, specs, keys, labels=labels,
+                           workers=workers, policy=FaultPolicy())
+    failed = [{"index": indices[o.index], "error": o.error,
+               "error_type": o.error_type, "attempts": o.attempts}
+              for o in report.failed]
+    done_keys = [k for k, r in zip(keys, report.results)
+                 if r is not None]
+    summary = {
+        "campaign": campaign.fingerprint(),
+        "indices": list(indices),
+        "done": len(done_keys),
+        "failed": failed,
+        "path_keys": done_keys,
+        "cache_hits": report.hits,
+    }
+    return summary, {"path_keys": done_keys, "failed": failed}
+
+
+def execute_qa_eval(params: dict, store, workers) -> tuple[dict, object]:
+    """``qa-eval`` jobs: run + judge one search candidate scenario.
+
+    The cluster fabric's unit of dispatch for ``repro qa search
+    --cluster``: the coordinator generates candidates (the sequential,
+    deterministic part) and farms evaluation out.  The payload is the
+    exact ``(outcome, findings)`` tuple the local evaluator would have
+    produced, so a clustered search report is byte-identical to a
+    serial one.
+    """
+    from ..qa.scenario import Scenario
+    from ..qa.search import _run_search_scenario
+
+    doc = params.get("scenario")
+    if not isinstance(doc, dict):
+        raise ConfigError(
+            f"param 'scenario' must be a scenario document: {doc!r}")
+    try:
+        scenario = Scenario.from_dict(doc)
+    except (ConfigError, KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"bad scenario document: {exc}")
+    outcome, findings = _run_search_scenario(scenario)
+    summary = {
+        "scenario": scenario.label(),
+        "failed": bool(findings),
+        "findings": [str(f) for f in findings],
+    }
+    return summary, (outcome, findings)
 
 
 def execute_pipeline(params: dict, store, workers) -> tuple[dict, object]:
@@ -275,11 +374,13 @@ def execute_qa_envelope(params: dict, store, workers) -> tuple[dict, object]:
 #: validates against this table.
 EXECUTORS: dict[str, Callable] = {
     "campaign": execute_campaign,
+    "paths": execute_paths,
     "pipeline": execute_pipeline,
     "experiment": execute_experiment,
     "sweep": execute_sweep,
     "qa-fuzz": execute_qa_fuzz,
     "qa-search": execute_qa_search,
+    "qa-eval": execute_qa_eval,
     "qa-envelope": execute_qa_envelope,
 }
 
@@ -427,6 +528,7 @@ class JobManager:
         self.inflight[key] = job
         self._journal_write(job)
         self._metrics.counter("jobs_admitted").inc()
+        self._metrics.counter(f"kind.{request.kind}.admitted").inc()
         self._metrics.gauge("queue_depth").set(len(self.queue))
         return job, "queued"
 
@@ -514,6 +616,7 @@ class JobManager:
             job.transition(JobState.FAILED, self.clock())
             self._journal_remove(job.key)
             self._metrics.counter("jobs_failed").inc()
+            self._metrics.counter(f"kind.{job.request.kind}.failed").inc()
         else:
             job.summary = summary
             if self.store is not None:
@@ -524,6 +627,7 @@ class JobManager:
             job.transition(JobState.DONE, self.clock())
             self._journal_remove(job.key)
             self._metrics.counter("jobs_executed").inc()
+            self._metrics.counter(f"kind.{job.request.kind}.done").inc()
             self._metrics.histogram("job_s").observe(
                 max(0.0, job.finished - job.started))
             self.queue.observe_latency(job.finished - job.started)

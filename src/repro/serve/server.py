@@ -19,6 +19,7 @@ Endpoints::
     GET    /jobs/<id>/result result summary (409 + Retry-After until done)
     GET    /jobs/<id>/events chunked JSON stream of state transitions
     DELETE /jobs/<id>        cancel a queued job
+    GET    /store/<key>      raw pickled store object (cluster merge)
     POST   /drain            begin graceful drain (idempotent)
 
 Lifecycle: ``SIGTERM``/``SIGINT`` trigger the same graceful drain as
@@ -215,6 +216,16 @@ class ReproServer:
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
         await writer.drain()
 
+    async def _respond_bytes(self, writer, status: int,
+                             body: bytes) -> None:
+        """Raw binary response (the store-fetch endpoint)."""
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/octet-stream",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
     async def _respond_error(self, writer, exc: _HttpError) -> None:
         await self._respond(writer, exc.status,
                             {"error": exc.message,
@@ -230,7 +241,8 @@ class ReproServer:
                 "service": "repro-serve", "version": __version__,
                 "endpoints": ["/healthz", "/metrics", "/jobs",
                               "/jobs/<id>", "/jobs/<id>/result",
-                              "/jobs/<id>/events", "/drain"]})
+                              "/jobs/<id>/events", "/store/<key>",
+                              "/drain"]})
             return
         if path == "/healthz" and method == "GET":
             stats = self.manager.stats()
@@ -262,7 +274,30 @@ class ReproServer:
         if path.startswith("/jobs/"):
             await self._job_route(method, path, writer)
             return
+        if path.startswith("/store/") and method == "GET":
+            await self._store_fetch(path[len("/store/"):], writer)
+            return
         raise _HttpError(404, f"no such endpoint: {method} {path}")
+
+    async def _store_fetch(self, key: str, writer) -> None:
+        """``GET /store/<key>``: the raw pickled object bytes.
+
+        The cluster-merge transfer endpoint: peers pull completed
+        artifacts (per-path results, serve-job payloads) by content
+        address and write them into their own stores byte-for-byte.
+        """
+        store = self.manager.store
+        if store is None:
+            raise _HttpError(503, "this server runs without a store")
+        try:
+            data = store.get_bytes(key)
+        except ConfigError as exc:
+            raise _HttpError(400, str(exc))
+        if data is None:
+            raise _HttpError(404, f"no store object {key[:16]}...")
+        self._metrics.counter("store_fetches").inc()
+        self._metrics.counter("store_fetch_bytes").inc(len(data))
+        await self._respond_bytes(writer, 200, data)
 
     def _client_identity(self, headers, request: JobRequest,
                          writer) -> str:

@@ -148,9 +148,68 @@ class ArtifactStore:
         return {"version": _INDEX_VERSION, "entries": entries,
                 "hits": 0, "misses": 0}
 
+    def _index_lock(self):
+        """An exclusive advisory lock serializing index saves.
+
+        Returns an open lock-file handle (close to release), or None
+        where ``fcntl`` is unavailable -- saves then degrade to the
+        best-effort read-merge-write, which is still union-shaped but
+        can drop a concurrent writer's entry in a tight race.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            return None
+        self.root.mkdir(parents=True, exist_ok=True)
+        lock = open(self.root / "index.lock", "w")
+        fcntl.flock(lock, fcntl.LOCK_EX)
+        return lock
+
     def _save_index(self) -> None:
-        if self._index is not None:
+        """Persist the index, folding in entries other writers landed.
+
+        Several store handles (server workers, a cluster coordinator
+        pulling while a batch run computes) can share one root.  Object
+        writes are safe by content addressing, but a blind index write
+        would be last-writer-wins and drop entries a concurrent handle
+        added for *different* keys.  Under an advisory file lock, the
+        on-disk index is re-read and entries unknown to this handle
+        adopted before the atomic replace, so saves are union-shaped:
+        entries only ever accumulate (GC is the sole deleter, and a
+        concurrently re-added key simply wins).
+        """
+        if self._index is None:
+            return
+        lock = self._index_lock()
+        try:
+            self._merge_disk_entries()
             atomic_write_json(self._index_path, self._index, indent=None)
+        finally:
+            if lock is not None:
+                lock.close()
+
+    def _merge_disk_entries(self) -> None:
+        try:
+            with open(self._index_path) as f:
+                import json
+                disk = json.load(f)
+            others = disk.get("entries")
+            if isinstance(others, dict):
+                for key, entry in others.items():
+                    if key in self._index["entries"] \
+                            or not isinstance(entry, dict):
+                        continue
+                    try:
+                        # Adopt only keys whose object is actually on
+                        # disk -- a key we (or gc) just deleted must
+                        # not be resurrected from a stale disk index.
+                        if self._object_path(key).exists():
+                            self._index["entries"][key] = entry
+                    except ConfigError:
+                        continue
+        except (OSError, ValueError):
+            pass
+        atomic_write_json(self._index_path, self._index, indent=None)
 
     # -- core operations -------------------------------------------------
 
@@ -209,6 +268,49 @@ class ArtifactStore:
             "created": prior["created"] if prior else now,
             "last_access": now,
             "hits": prior["hits"] if prior else 0,
+        }
+        self._metrics.counter("puts").inc()
+        self._metrics.counter("bytes_written").inc(len(data))
+        self._save_index()
+        return path
+
+    def get_bytes(self, key: str) -> bytes | None:
+        """The raw pickled object bytes for ``key``; None on miss.
+
+        The transfer primitive of cluster merge: bytes fetched from a
+        remote node's store go straight into the local one through
+        :meth:`put_bytes` without a decode/re-encode round trip, so the
+        local object is byte-identical to the remote original.
+        """
+        path = self._object_path(key)
+        try:
+            with open(path, "rb") as f:
+                return f.read()
+        except OSError:
+            return None
+
+    def put_bytes(self, key: str, data: bytes, kind: str = "generic",
+                  label: str = "") -> Path:
+        """Store already-pickled ``data`` under ``key`` (idempotent;
+        atomic).  The caller vouches that ``data`` is the pickled
+        payload the content address ``key`` names."""
+        if not isinstance(data, bytes):
+            raise ConfigError(
+                f"put_bytes needs bytes, got {type(data).__name__}")
+        path = self._object_path(key)
+        atomic_write_bytes(path, data)
+        index = self._load_index()
+        now = time.time()
+        prior = index["entries"].get(key)
+        index["entries"][key] = {
+            "size": len(data),
+            "kind": kind,
+            "label": label,
+            "created": prior["created"] if isinstance(prior, dict)
+            and "created" in prior else now,
+            "last_access": now,
+            "hits": prior["hits"] if isinstance(prior, dict)
+            and "hits" in prior else 0,
         }
         self._metrics.counter("puts").inc()
         self._metrics.counter("bytes_written").inc(len(data))

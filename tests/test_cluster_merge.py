@@ -1,0 +1,176 @@
+"""Merge idempotency: concurrent pulls of the same content-addressed
+objects must converge to one readable copy per fingerprint.
+
+This is the property the whole cluster fabric leans on -- a stolen
+task's replica, a re-dispatched shard, and a local recomputation can
+all land the same object at the same time, and the store must end up
+with exactly one index entry and an unbroken object either way.
+"""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.cluster import collect_metrics, pull_objects
+from repro.errors import ClusterError
+from repro.serve import ServeError
+from repro.store import ArtifactStore
+from repro.store.fingerprint import fingerprint
+
+
+class FakeNodeClient:
+    """Duck-typed stand-in for :class:`ServeClient` (fetch side)."""
+
+    def __init__(self, objects, host="fake", port=0):
+        self.objects = objects
+        self.host = host
+        self.port = port
+        self.fetches = 0
+
+    def fetch_store(self, key):
+        self.fetches += 1
+        try:
+            return self.objects[key]
+        except KeyError:
+            raise ServeError(404, f"no store object {key[:16]}...")
+
+    def metrics(self):
+        raise ServeError(0, "unreachable")
+
+
+def _objects(n, tag=""):
+    """n content-addressed (key, pickled-bytes) pairs."""
+    out = {}
+    for i in range(n):
+        payload = {"value": i, "tag": tag}
+        key = fingerprint(payload, kind="test-object")
+        out[key] = pickle.dumps(payload, protocol=4)
+    return out
+
+
+class TestPullObjects:
+    def test_pull_writes_byte_identical_objects(self, tmp_path):
+        objects = _objects(4)
+        store = ArtifactStore(tmp_path / "store")
+        client = FakeNodeClient(objects)
+        pulled = pull_objects(client, store, list(objects))
+        assert pulled == 4
+        for key, data in objects.items():
+            assert store.get_bytes(key) == data
+            assert store.get(key) == pickle.loads(data)
+
+    def test_pull_skips_keys_already_local(self, tmp_path):
+        objects = _objects(3)
+        store = ArtifactStore(tmp_path / "store")
+        client = FakeNodeClient(objects)
+        pull_objects(client, store, list(objects))
+        fetches = client.fetches
+        assert pull_objects(client, store, list(objects)) == 0
+        assert client.fetches == fetches, "second pull must not fetch"
+
+    def test_missing_remote_key_raises_serve_error(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        client = FakeNodeClient({})
+        with pytest.raises(ServeError):
+            pull_objects(client, store, [fingerprint("x", kind="t")])
+
+    def test_corrupt_transfer_raises_and_writes_nothing(self, tmp_path):
+        key = fingerprint("corrupt", kind="t")
+        store = ArtifactStore(tmp_path / "store")
+        client = FakeNodeClient({key: b"\x80\x04 truncated garbage"})
+        with pytest.raises(ClusterError):
+            pull_objects(client, store, [key])
+        assert key not in store
+
+
+class TestConcurrentMerge:
+    N_THREADS = 8
+
+    def test_concurrent_pulls_of_overlapping_keys(self, tmp_path):
+        """Many pullers, one store, overlapping key sets: one index
+        entry per fingerprint, every object readable, index not torn."""
+        objects = _objects(12)
+        keys = list(objects)
+        root = tmp_path / "store"
+        errors = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def puller(offset):
+            try:
+                # Each thread gets its own store handle (its own index
+                # cache), like separate coordinator/scheduler actors.
+                store = ArtifactStore(root)
+                client = FakeNodeClient(objects)
+                barrier.wait(timeout=10)
+                rotated = keys[offset:] + keys[:offset]
+                pull_objects(client, store, rotated)
+            except Exception as exc:  # surface in the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=puller, args=(i,))
+                   for i in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        store = ArtifactStore(root)
+        entries = store.entries()
+        assert sorted(entries) == sorted(keys), \
+            "exactly one index entry per fingerprint"
+        for key, data in objects.items():
+            assert store.get_bytes(key) == data
+        with open(root / "index.json") as f:
+            json.load(f)  # the index itself must never be torn
+
+    def test_concurrent_put_bytes_same_key(self, tmp_path):
+        """The worst case: every writer lands the *same* fingerprint."""
+        [(key, data)] = _objects(1).items()
+        root = tmp_path / "store"
+        errors = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def writer():
+            try:
+                store = ArtifactStore(root)
+                barrier.wait(timeout=10)
+                for _ in range(5):
+                    store.put_bytes(key, data, kind="test")
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        store = ArtifactStore(root)
+        assert list(store.entries()) == [key]
+        assert store.get_bytes(key) == data
+        assert store.get(key) == pickle.loads(data)
+
+
+class TestCollectMetrics:
+    class MetricsClient:
+        def __init__(self, snapshot):
+            self._snapshot = snapshot
+
+        def metrics(self):
+            return self._snapshot
+
+    def test_merges_counters_and_skips_unreachable(self):
+        a = self.MetricsClient(
+            {"serve.jobs_executed": {"type": "counter", "value": 3.0},
+             "serve.queue_depth": {"type": "gauge", "value": 2.0}})
+        b = self.MetricsClient(
+            {"serve.jobs_executed": {"type": "counter", "value": 4.0},
+             "serve.queue_depth": {"type": "gauge", "value": 5.0}})
+        dead = FakeNodeClient({})
+        merged = collect_metrics([a, dead, b])
+        assert merged["serve.jobs_executed"]["value"] == 7.0
+        assert merged["serve.queue_depth"]["value"] == 5.0
+        assert merged["cluster.nodes_reporting"]["value"] == 2.0

@@ -7,7 +7,8 @@ from repro.errors import ConfigError
 from repro.qa.features import (FeatureMap, buffer_bucket, cca_mix_class,
                                confidence_bucket, detector_confidence,
                                feature_cell, jitter_bucket, load_bucket,
-                               probe_share_bucket)
+                               probe_share_bucket,
+                               queue_residency_bucket)
 from repro.qa.scenario import FlowSpec, Scenario, run_scenario
 
 
@@ -79,13 +80,38 @@ def test_feature_cell_id_is_stable_and_complete():
     outcome = run_scenario(scenario)
     cell = feature_cell(scenario, outcome)
     parts = cell.as_id().split("|")
-    assert len(parts) == 9
+    assert len(parts) == 10
     assert parts[0] == "droptail"
     assert parts[1] == "probe"
     assert parts[2] == "none"
     assert parts[5] == "none"  # jitter component, position the
     assert parts[6] == "fluid"  # experiment's cell parser relies on
+    assert parts[9] in ("empty", "transient", "standing", "full")
     assert cell == feature_cell(scenario, outcome)
+
+
+def test_queue_residency_buckets():
+    import dataclasses
+
+    from repro.sim.network import default_buffer_packets
+    from repro.units import mbps, ms
+
+    scenario = _flows_scenario()
+    outcome = run_scenario(scenario)
+    buf = default_buffer_packets(mbps(scenario.rate_mbps),
+                                 ms(scenario.rtt_ms),
+                                 scenario.buffer_multiplier)
+
+    def bucket(**stats):
+        patched = dataclasses.replace(
+            outcome, qdisc_stats={**outcome.qdisc_stats, **stats})
+        return queue_residency_bucket(scenario, patched)
+
+    assert bucket(residual_packets=0.0, drops=0.0) == "empty"
+    assert bucket(residual_packets=0.0, drops=3.0) == "transient"
+    assert bucket(residual_packets=0.05 * buf, drops=0.0) == "transient"
+    assert bucket(residual_packets=0.5 * buf, drops=0.0) == "standing"
+    assert bucket(residual_packets=1.0 * buf, drops=9.0) == "full"
 
 
 def test_feature_map_accounting():
@@ -144,3 +170,28 @@ def test_feature_map_to_dict_is_sorted_and_deterministic():
 def test_feature_map_rejects_bad_threshold():
     with pytest.raises(ConfigError):
         FeatureMap(threshold=0.0)
+    with pytest.raises(ConfigError):
+        FeatureMap(qdisc_thresholds={"codel": 0.0})
+    with pytest.raises(ConfigError):
+        FeatureMap(qdisc_thresholds={"codel": "hot"})
+
+
+def test_per_qdisc_thresholds_override_bucketing():
+    import dataclasses
+
+    fmap = FeatureMap(threshold=2.0, qdisc_thresholds={"codel": 1.0})
+    assert fmap.threshold_for("codel") == 1.0
+    assert fmap.threshold_for("droptail") == 2.0
+    assert fmap.to_dict()["qdisc_thresholds"] == {"codel": 1.0}
+
+    scenario = _probe_scenario(qdisc="codel")
+    real = run_scenario(scenario)
+    pinned = dataclasses.replace(
+        real, probe={**real.probe, "mean_elasticity": 3.5})
+    # distance 1.5 from the default threshold ("mid"), but 2.5 from
+    # the codel override -- the override must win the cell bucket.
+    cell, _, _ = fmap.observe(scenario, pinned)
+    assert cell.confidence == "high"
+    default_cell, _, _ = FeatureMap(threshold=2.0).observe(scenario,
+                                                           pinned)
+    assert default_cell.confidence == "mid"

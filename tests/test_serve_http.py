@@ -277,3 +277,75 @@ class TestHttpSurface:
             assert versions == sorted(versions)
             assert events[-1]["state"] == "done"
             assert events[-1]["summary"]["total"] == 200
+
+
+class TestStoreFetch:
+    """``GET /store/<key>``: the cluster-merge transfer endpoint."""
+
+    def test_fetch_returns_exact_object_bytes(self):
+        from repro.store.fingerprint import fingerprint
+
+        store = ArtifactStore()
+        payload = {"tag": "transfer", "values": list(range(8))}
+        key = fingerprint(payload, kind="fetch-test")
+        data = pickle.dumps(payload, protocol=4)
+        store.put_bytes(key, data, kind="fetch-test")
+        with ServerThread(store=store, limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="fetch")
+            assert client.fetch_store(key) == data
+            metrics = client.metrics()
+            assert metrics["serve.store_fetches"]["value"] == 1
+            assert metrics["serve.store_fetch_bytes"]["value"] == \
+                len(data)
+
+    def test_missing_key_404_and_malformed_key_400(self):
+        with ServerThread(store=ArtifactStore(),
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="fetch")
+            with pytest.raises(ServeError) as exc:
+                client.fetch_store("ab" * 32)  # valid hex, absent
+            assert exc.value.status == 404
+            with pytest.raises(ServeError) as exc:
+                client.fetch_store("nothex!key")
+            assert exc.value.status == 400
+
+    def test_storeless_server_refuses_with_503(self):
+        with ServerThread(store=None, limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="fetch")
+            with pytest.raises(ServeError) as exc:
+                client.fetch_store("ab" * 32)
+            assert exc.value.status == 503
+
+
+class TestClientTimeouts:
+    def test_connect_timeout_fails_fast_with_status_0(self):
+        """A coordinator's dispatch to an unreachable node must fail in
+        ``connect_timeout`` seconds, not the 30s read/job timeout."""
+        import time
+
+        # RFC 5737 TEST-NET-1: guaranteed unroutable, so connect hangs
+        # until the timeout instead of being refused instantly.
+        client = ServeClient("192.0.2.1", 9, timeout=30.0,
+                             connect_timeout=0.3)
+        start = time.monotonic()
+        with pytest.raises(ServeError) as exc:
+            client.healthz()
+        assert time.monotonic() - start < 5.0
+        assert exc.value.status == 0
+
+    def test_connect_timeout_defaults_to_read_timeout(self):
+        assert ServeClient(timeout=7.0).connect_timeout == 7.0
+        assert ServeClient(timeout=7.0,
+                           connect_timeout=0.5).connect_timeout == 0.5
+
+
+class TestPerKindCounters:
+    def test_admitted_and_done_counted_by_kind(self):
+        with ServerThread(store=None, concurrency=1,
+                          limiter=open_limiter()) as server:
+            client = ServeClient(port=server.port, client_id="kinds")
+            client.submit_and_wait("pipeline", {"flows": 200},
+                                   timeout=60)
+            metrics = client.metrics()
+            assert metrics["serve.kind.pipeline.admitted"]["value"] == 1
+            assert metrics["serve.kind.pipeline.done"]["value"] == 1

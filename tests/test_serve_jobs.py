@@ -253,3 +253,57 @@ class TestDrainAndResume:
         manager = JobManager(store=store)
         assert manager.resume_journal() == []
         assert not bad.exists()
+
+
+class TestShardExecutors:
+    """The cluster fabric's job kinds: ``paths`` and ``qa-eval``."""
+
+    def test_paths_shard_checkpoints_under_coordinator_keys(self):
+        from repro.serve.jobs import campaign_from_params, execute_paths
+
+        store = ArtifactStore()
+        params = {"n_paths": 3, "seed": 3, "duration": 1.0,
+                  "backend": "fluid", "indices": [0, 2]}
+        summary, payload = execute_paths(params, store, 1)
+        campaign = campaign_from_params(params)
+        keys = [campaign.path_key(campaign.specs[i]) for i in (0, 2)]
+        assert summary["done"] == 2 and summary["failed"] == []
+        assert summary["path_keys"] == keys
+        assert payload["path_keys"] == keys
+        for key in keys:
+            assert key in store, "shard results travel by store key"
+        skipped = campaign.path_key(campaign.specs[1])
+        assert skipped not in store, "only the shard's indices run"
+
+    def test_paths_shard_rejects_bad_requests(self):
+        from repro.serve.jobs import execute_paths
+
+        params = {"n_paths": 3, "duration": 1.0, "backend": "fluid"}
+        with pytest.raises(ConfigError, match="need a store"):
+            execute_paths({**params, "indices": [0]}, None, 1)
+        store = ArtifactStore()
+        for indices in ([], [3], [-1], ["x"], [True], "0"):
+            with pytest.raises(ConfigError, match="indices"):
+                execute_paths({**params, "indices": indices}, store, 1)
+
+    def test_qa_eval_payload_equals_local_evaluator(self):
+        from repro.qa.scenario import FlowSpec, Scenario
+        from repro.qa.search import _run_search_scenario
+        from repro.serve.jobs import execute_qa_eval
+
+        scenario = Scenario(family="flows", rate_mbps=8.0, rtt_ms=20.0,
+                            qdisc="droptail", duration=2.0, seed=42,
+                            flows=(FlowSpec(cca="reno"),))
+        summary, payload = execute_qa_eval(
+            {"scenario": scenario.to_dict()}, None, 1)
+        outcome, findings = _run_search_scenario(scenario)
+        assert payload == (outcome, findings)
+        assert summary["scenario"] == scenario.label()
+        assert summary["failed"] == bool(findings)
+
+    def test_qa_eval_rejects_bad_scenario_docs(self):
+        from repro.serve.jobs import execute_qa_eval
+
+        for doc in (None, "x", {}, {"family": "nope"}):
+            with pytest.raises(ConfigError):
+                execute_qa_eval({"scenario": doc}, None, 1)
