@@ -71,6 +71,8 @@ SMOKE_PARAMS: dict[str, dict] = {
                             "volatilities": (0.0, 0.1)},
     "envelope": {"backend": "fluid"},
     "robustness": {"budget": 40},
+    "fig2_scale": {"population_sizes": (400, 1000),
+                   "chunk_size": 100},
 }
 
 
@@ -153,6 +155,18 @@ def _resolve_experiment(args):
         else:
             print(f"note: {args.experiment} takes no cluster; ignoring",
                   file=sys.stderr)
+    if getattr(args, "flows", None) is not None:
+        if "n_flows" in accepted:
+            params["n_flows"] = args.flows
+        else:
+            print(f"note: {args.experiment} takes no flows; ignoring",
+                  file=sys.stderr)
+    if getattr(args, "chunk_size", None) is not None:
+        if "chunk_size" in accepted:
+            params["chunk_size"] = args.chunk_size
+        else:
+            print(f"note: {args.experiment} takes no chunk size; "
+                  "ignoring", file=sys.stderr)
     return run_fn, params
 
 
@@ -779,6 +793,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "and merge results into the local store; "
                             "byte-identical to a local run "
                             "(see SERVING.md)")
+    p_run.add_argument("--flows", type=int,
+                       help="population size for flow-count experiments "
+                            "(fig2: above 20k flows the run streams "
+                            "out of core in bounded memory)")
+    p_run.add_argument("--chunk-size", type=int, dest="chunk_size",
+                       help="flows per shard for streamed runs -- the "
+                            "memory and checkpoint/resume unit")
     add_cache_flags(p_run)
     add_json_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
@@ -796,6 +817,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int)
     p_trace.add_argument("--workers", type=int)
     p_trace.add_argument("--backend", choices=("packet", "fluid"))
+    p_trace.add_argument("--flows", type=int)
+    p_trace.add_argument("--chunk-size", type=int, dest="chunk_size")
     add_cache_flags(p_trace)
     add_json_flag(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
@@ -810,6 +833,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--seed", type=int)
     p_metrics.add_argument("--workers", type=int)
     p_metrics.add_argument("--backend", choices=("packet", "fluid"))
+    p_metrics.add_argument("--flows", type=int)
+    p_metrics.add_argument("--chunk-size", type=int, dest="chunk_size")
     add_cache_flags(p_metrics)
     add_json_flag(p_metrics)
     p_metrics.set_defaults(fn=cmd_metrics)

@@ -20,7 +20,8 @@ The pieces:
 
 from .coordinator import (ClusterTask, Coordinator, TaskRecord,
                           cluster_evaluator, run_clustered_campaign,
-                          run_clustered_search, shard_indices, task_for)
+                          run_clustered_fig2, run_clustered_search,
+                          shard_indices, task_for)
 from .journal import ClusterJournal, journal_dir, list_journals
 from .membership import (DEFAULT_PORT, Membership, Node, parse_cluster)
 from .merge import collect_metrics, pull_objects
@@ -40,6 +41,7 @@ __all__ = [
     "parse_cluster",
     "pull_objects",
     "run_clustered_campaign",
+    "run_clustered_fig2",
     "run_clustered_search",
     "shard_indices",
     "task_for",

@@ -530,6 +530,92 @@ def run_clustered_campaign(params: Mapping, cluster,
                         progress=progress)
 
 
+def run_clustered_fig2(n_flows: int, cluster,
+                       seed: int = 0, model=None,
+                       chunk_size: int | None = None,
+                       min_relative_shift: float = 0.25,
+                       store: ArtifactStore | None = None,
+                       workers: int | None = None,
+                       resume: bool = False,
+                       progress: Callable[[int, int], None] | None = None,
+                       coordinator: Coordinator | None = None):
+    """Run a streamed §3.1 fig2 pipeline across a serve cluster;
+    returns :class:`~repro.ndt.pipeline.Fig2Result`.
+
+    The flow mirrors :func:`run_clustered_campaign`: cut the
+    population into :class:`~repro.ndt.stream.ShardSpec`\\ s locally,
+    dispatch the shards *not already in the local store* as
+    ``fig2-shard`` tasks (each node regenerates its slice from the
+    spec -- per-flow seeding means only a few integers travel), pull
+    each completed partial back by content address, then assemble
+    through :func:`~repro.ndt.stream.run_pipeline_streaming` against
+    the local store -- merged shards are cache hits, quarantined or
+    lost shards recompute locally, and the result is byte-identical to
+    a serial run by construction.
+
+    Args:
+        n_flows: population size.
+        cluster: node spec for :func:`parse_cluster`, or an existing
+            :class:`Membership` when ``coordinator`` is None.
+        seed: population seed.
+        model: must be None or the default
+            :class:`~repro.ndt.synth.PopulationModel` -- custom models
+            do not travel over the cluster wire.
+        chunk_size: flows per shard (default
+            :data:`~repro.ndt.synth.DEFAULT_CHUNK_SIZE`).
+        store: local merge target (default: the default store).
+        workers: local workers for the final assembly (and any
+            fallback recomputation).
+        resume: forwarded to the final assembly's scheduler manifest.
+        coordinator: injectable pre-built coordinator (tests).
+    """
+    from ..ndt.stream import (run_pipeline_streaming, shard_specs,
+                              stream_run_key)
+    from ..ndt.synth import DEFAULT_CHUNK_SIZE, PopulationModel
+    from ..store import active_store
+
+    if store is None:
+        store = active_store() or ArtifactStore()
+    if model is not None and model != PopulationModel():
+        raise ConfigError(
+            "clustered fig2 runs support only the default "
+            "PopulationModel (custom models do not travel over the "
+            "wire); run locally instead")
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    specs = shard_specs(n_flows, seed=seed, chunk_size=chunk_size,
+                        min_relative_shift=min_relative_shift)
+    keys = [spec.key() for spec in specs]
+    todo = [i for i, key in enumerate(keys) if key not in store]
+    _METRICS.scoped("cluster").counter("fig2_shards_local").inc(
+        len(keys) - len(todo))
+    if todo:
+        if coordinator is None:
+            membership = (cluster if isinstance(cluster, Membership)
+                          else Membership(parse_cluster(cluster)))
+            coordinator = Coordinator(
+                membership, store,
+                journal=ClusterJournal(store, stream_run_key(specs)))
+        tasks = [task_for(
+            "fig2-shard",
+            {"seed": seed, "start": specs[i].start,
+             "count": specs[i].count,
+             "min_relative_shift": min_relative_shift},
+            artifact_keys=(keys[i],), label=specs[i].shard_id)
+            for i in todo]
+        records = coordinator.run(tasks, progress=progress)
+        lost = sum(1 for r in records.values() if r.status == "failed")
+        if lost:
+            _METRICS.scoped("cluster").counter(
+                "shards_fallback_local").inc(lost)
+    # Final assembly: merged shards are store hits, anything missing
+    # (failed shards, dead nodes) recomputes locally.
+    return run_pipeline_streaming(
+        n_flows, seed=seed, chunk_size=chunk_size,
+        min_relative_shift=min_relative_shift, workers=workers,
+        store=store, resume=resume, progress=progress)
+
+
 def cluster_evaluator(coordinator: Coordinator, store: ArtifactStore):
     """A batch evaluator for :func:`repro.qa.search.run_search` that
     farms candidate scenarios out as ``qa-eval`` jobs.

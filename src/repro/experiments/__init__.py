@@ -14,13 +14,14 @@
 ``cellular_robustness``  E11: probe robustness on variable-rate links (§2.3)
 ``envelope``    E12: the detector's calibrated envelope on either backend
 ``robustness``  E13: coverage-guided search vs random fuzzing, head to head
+``fig2_scale``  E15: Figure 2 fractions + bootstrap CIs vs population size
 ==============  ===========================================================
 """
 
 from . import (access_link, bwe_isolation, campaign_eval,
                cellular_robustness, envelope, fairness_matrix, fig2,
-               fig3, fq_ablation, robustness, subpacket, tbf_jitter,
-               tslp_vs_elasticity)
+               fig2_scale, fig3, fq_ablation, robustness, subpacket,
+               tbf_jitter, tslp_vs_elasticity)
 from .runner import ExperimentResult, Stopwatch, sweep
 
 #: Experiment registry for the CLI.
@@ -38,10 +39,12 @@ EXPERIMENTS = {
     "cellular_robustness": cellular_robustness.run,
     "envelope": envelope.run,
     "robustness": robustness.run,
+    "fig2_scale": fig2_scale.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "Stopwatch", "sweep",
            "fig2", "fig3", "fq_ablation", "tbf_jitter", "subpacket",
            "fairness_matrix", "campaign_eval", "access_link",
            "tslp_vs_elasticity", "bwe_isolation",
-           "cellular_robustness", "envelope", "robustness"]
+           "cellular_robustness", "envelope", "robustness",
+           "fig2_scale"]

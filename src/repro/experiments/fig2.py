@@ -10,6 +10,13 @@ Paper-shape expectations: a large majority of flows is removed as
 application-limited, receiver-limited, or cellular; only a small
 residual fraction shows throughput level shifts, and some of those
 shifts (policed flows) are not contention at all.
+
+Above :data:`STREAMING_THRESHOLD` flows (or with ``streaming=True``,
+``--flows 1000000`` on the CLI) the run goes through the out-of-core
+shard pipeline (:func:`repro.ndt.stream.run_pipeline_streaming`):
+bounded memory, store-checkpointed shards (``--resume`` picks an
+interrupted run back up), and aggregates byte-identical to the
+materialized path.
 """
 
 from __future__ import annotations
@@ -17,30 +24,59 @@ from __future__ import annotations
 from .. import viz
 from ..ndt.filters import FlowCategory
 from ..ndt.pipeline import run_pipeline
-from ..ndt.synth import PopulationModel, SyntheticNdtGenerator
+from ..ndt.stream import run_pipeline_streaming
+from ..ndt.synth import DEFAULT_CHUNK_SIZE, PopulationModel, \
+    SyntheticNdtGenerator
 from ..units import to_mbps
 from .runner import ExperimentResult, Stopwatch
 
 #: The paper analysed 9,984 flows from June 2023.
 PAPER_FLOW_COUNT = 9_984
 
+#: Populations above this stream out of core by default.
+STREAMING_THRESHOLD = 20_000
+
 
 def run(n_flows: int = PAPER_FLOW_COUNT, seed: int = 2023,
         min_relative_shift: float = 0.25,
         model: PopulationModel | None = None,
-        workers: int | None = None) -> ExperimentResult:
+        workers: int | None = None,
+        streaming: bool | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        resume: bool = False,
+        cluster: str | None = None) -> ExperimentResult:
     """Run the Figure 2 pipeline.
 
-    ``workers`` fans the per-flow analysis out over processes
-    (default: ``REPRO_WORKERS`` env var, then CPU count); results are
-    identical for any value.
+    ``workers`` fans the analysis out over processes (default:
+    ``REPRO_WORKERS`` env var, then CPU count); results are identical
+    for any value.  ``streaming`` selects the out-of-core shard
+    pipeline (default: only above :data:`STREAMING_THRESHOLD` flows);
+    ``chunk_size`` is its flows-per-shard memory/checkpoint unit and
+    ``resume`` continues an interrupted streamed run.  ``cluster``
+    ("host1:8765,host2:...") shards a streamed run across serve nodes.
     """
     with Stopwatch() as watch:
-        dataset = SyntheticNdtGenerator(model=model, seed=seed) \
-            .generate(n_flows)
-        result = run_pipeline(dataset,
-                              min_relative_shift=min_relative_shift,
-                              workers=workers)
+        streamed = (streaming if streaming is not None
+                    else (n_flows > STREAMING_THRESHOLD
+                          or cluster is not None))
+        if cluster:
+            from ..cluster import run_clustered_fig2
+            result = run_clustered_fig2(
+                n_flows, cluster, seed=seed, model=model,
+                chunk_size=chunk_size,
+                min_relative_shift=min_relative_shift,
+                workers=workers, resume=resume)
+        elif streamed:
+            result = run_pipeline_streaming(
+                n_flows, seed=seed, model=model, chunk_size=chunk_size,
+                min_relative_shift=min_relative_shift,
+                workers=workers, resume=resume)
+        else:
+            dataset = SyntheticNdtGenerator(model=model, seed=seed) \
+                .generate(n_flows)
+            result = run_pipeline(dataset,
+                                  min_relative_shift=min_relative_shift,
+                                  workers=workers)
         quality = result.detector_quality()
 
     rows = [{"category": name, "flows": count, "fraction": round(frac, 4)}
@@ -50,12 +86,16 @@ def run(n_flows: int = PAPER_FLOW_COUNT, seed: int = 2023,
          "cdf": round(f, 4)}
         for cat in FlowCategory
         if result.counts.get(cat, 0) > 0
-        for v, f in result.throughput_cdf(cat).points(max_points=100)
+        for v, f in (result.throughput_sketch(cat) if streamed
+                     else result.throughput_cdf(cat))
+        .points(max_points=100)
     ]
 
     parts = [
         f"Figure 2 reproduction: {n_flows} synthetic NDT flows "
-        f"(seed={seed})",
+        f"(seed={seed}"
+        + (f", streamed in {len(result.shards)} shards)" if streamed
+           else ")"),
         "",
         viz.table(
             [(r["category"], r["flows"], f"{r['fraction']:.1%}")
@@ -86,6 +126,15 @@ def run(n_flows: int = PAPER_FLOW_COUNT, seed: int = 2023,
         "detector_precision": quality["precision"],
         "detector_recall": quality["recall"],
     }
+    if streamed and len(result.shards) >= 2:
+        point, ci_low, ci_high = result.fraction_ci()
+        metrics["possible_contention_ci_low"] = ci_low
+        metrics["possible_contention_ci_high"] = ci_high
+        parts.append("")
+        parts.append(f"possible contention: {point:.2%} "
+                     f"(95% CI [{ci_low:.2%}, {ci_high:.2%}], "
+                     f"cluster bootstrap over {len(result.shards)} "
+                     "shards)")
     return ExperimentResult(
         experiment="fig2",
         text="\n".join(parts),
@@ -93,6 +142,7 @@ def run(n_flows: int = PAPER_FLOW_COUNT, seed: int = 2023,
         tables={"categories": rows, "throughput_cdfs": cdf_rows},
         params={"n_flows": n_flows, "seed": seed,
                 "min_relative_shift": min_relative_shift,
-                "workers": workers},
+                "workers": workers, "streaming": streamed,
+                "chunk_size": chunk_size},
         elapsed_s=watch.elapsed,
     )

@@ -14,8 +14,9 @@ import functools
 from dataclasses import dataclass, field
 
 from ..analysis.changepoint import throughput_level_shift
+from ..errors import AnalysisError
 from ..runtime import parallel_map
-from ..analysis.stats import Cdf
+from ..analysis.stats import Cdf, CdfSketch, bootstrap_ci
 from .filters import FlowCategory, categorize
 from .schema import NdtDataset, NdtRecord
 
@@ -33,26 +34,204 @@ class FlowAnalysis:
     true_class: str
 
 
+@dataclass(frozen=True)
+class QualityTally:
+    """Commutative detector-quality counts against ground truth.
+
+    Pure integers, so tallies from any sharding of a dataset merge to
+    the same result in any order.
+    """
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    lost_to_filters: int = 0
+
+    @classmethod
+    def of(cls, flows) -> "QualityTally":
+        tp = fp = fn = lost = 0
+        for f in flows:
+            if f.category is FlowCategory.REMAINING:
+                if f.inferred_contention:
+                    if f.true_contention:
+                        tp += 1
+                    else:
+                        fp += 1
+                elif f.true_contention:
+                    fn += 1
+            elif f.true_contention:
+                lost += 1
+        return cls(true_positives=tp, false_positives=fp,
+                   false_negatives=fn, lost_to_filters=lost)
+
+    def merge(self, other: "QualityTally") -> "QualityTally":
+        return QualityTally(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+            lost_to_filters=self.lost_to_filters + other.lost_to_filters)
+
+
+@dataclass(frozen=True)
+class ShardRow:
+    """Per-shard aggregate retained for cluster-bootstrap CIs.
+
+    Category keys are stored as strings (enum values) so shard rows
+    fingerprint canonically.
+    """
+
+    shard_id: str
+    start: int
+    count: int
+    counts: tuple[tuple[str, int], ...]
+    remaining_with_shifts: int
+    quality: QualityTally
+
+
 @dataclass
 class Fig2Result:
-    """Aggregate results backing Figure 2.
+    """Aggregate results backing Figure 2 -- a mergeable monoid.
+
+    Both pipeline paths produce one: the materialized path
+    (:func:`run_pipeline`) keeps every per-flow analysis, the streaming
+    path (:func:`repro.ndt.stream.run_pipeline_streaming`) folds
+    per-shard partials with :meth:`merge` and drops the flows.  All
+    aggregate state (integer counts, :class:`QualityTally`,
+    :class:`CdfSketch`) merges commutatively and associatively, so the
+    folded aggregates are byte-identical to the materialized ones --
+    :meth:`aggregate_fingerprint` is the equality oracle the test
+    harness and benchmarks gate on.
 
     Attributes:
         total: number of flows analysed.
         counts: flows per §3.1 category.
         remaining_with_shifts: remaining flows showing >= 1 level shift.
-        flows: per-flow analyses.
+        flows: per-flow analyses; empty when streamed out of core.
+        quality: ground-truth detector tallies.
+        sketches: per-category mean-throughput CDF sketches.
+        shards: per-shard aggregate rows (population CIs, merge
+            bookkeeping); a materialized run is one shard.
     """
 
     total: int
     counts: dict[FlowCategory, int]
     remaining_with_shifts: int
     flows: list[FlowAnalysis] = field(default_factory=list)
+    quality: QualityTally | None = None
+    sketches: dict[FlowCategory, CdfSketch] | None = None
+    shards: tuple[ShardRow, ...] = ()
+
+    def __post_init__(self):
+        if self.quality is None:
+            self.quality = QualityTally.of(self.flows)
+        if self.sketches is None:
+            self.sketches = _sketches_of(self.flows)
+        if not self.shards and self.total:
+            self.shards = (ShardRow(
+                shard_id=f"shard-{0:09d}+{self.total}", start=0,
+                count=self.total,
+                counts=tuple(sorted((cat.value, n)
+                                    for cat, n in self.counts.items())),
+                remaining_with_shifts=self.remaining_with_shifts,
+                quality=self.quality),)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_flows(cls, flows, shard_id: str | None = None,
+                   start: int = 0,
+                   keep_flows: bool = True) -> "Fig2Result":
+        """Aggregate a list of per-flow analyses into one result.
+
+        Args:
+            flows: :class:`FlowAnalysis` items, in dataset order.
+            shard_id: merge-identity of this partial (defaults to the
+                ``shard-<start>+<count>`` convention).
+            start: dataset position of the first flow.
+            keep_flows: retain the per-flow list (materialized mode);
+                streaming shards pass False to stay out of core.
+        """
+        flows = list(flows)
+        if not flows:
+            return cls.empty()
+        counts: dict[FlowCategory, int] = {}
+        for f in flows:
+            counts[f.category] = counts.get(f.category, 0) + 1
+        remaining_with_shifts = sum(
+            1 for f in flows
+            if f.category is FlowCategory.REMAINING
+            and f.inferred_contention)
+        quality = QualityTally.of(flows)
+        shard = ShardRow(
+            shard_id=(shard_id if shard_id is not None
+                      else f"shard-{start:09d}+{len(flows)}"),
+            start=start, count=len(flows),
+            counts=tuple(sorted((cat.value, n)
+                                for cat, n in counts.items())),
+            remaining_with_shifts=remaining_with_shifts,
+            quality=quality)
+        return cls(total=len(flows), counts=counts,
+                   remaining_with_shifts=remaining_with_shifts,
+                   flows=flows if keep_flows else [],
+                   quality=quality, sketches=_sketches_of(flows),
+                   shards=(shard,))
+
+    @classmethod
+    def empty(cls) -> "Fig2Result":
+        """The merge identity: zero flows, no shards."""
+        return cls(total=0, counts={}, remaining_with_shifts=0,
+                   quality=QualityTally(), sketches={}, shards=())
+
+    def merge(self, other: "Fig2Result") -> "Fig2Result":
+        """Combine two partials over disjoint shard sets.
+
+        Idempotent: merging a result whose shards are already included
+        returns self unchanged (and symmetrically), so replayed or
+        duplicated shard deliveries are harmless.  Partially
+        overlapping shard sets raise :class:`AnalysisError` -- sketches
+        cannot subtract, so a partial overlap is unrecoverable
+        double-counting.
+        """
+        mine = {s.shard_id for s in self.shards}
+        theirs = {s.shard_id for s in other.shards}
+        if theirs <= mine:
+            return self
+        if mine <= theirs:
+            return other
+        if mine & theirs:
+            raise AnalysisError(
+                "cannot merge partially overlapping shard sets: "
+                f"{sorted(mine & theirs)} appear on both sides")
+        counts = dict(self.counts)
+        for cat, n in other.counts.items():
+            counts[cat] = counts.get(cat, 0) + n
+        sketches = dict(self.sketches)
+        for cat, sketch in other.sketches.items():
+            sketches[cat] = (sketches[cat].merge(sketch)
+                             if cat in sketches else sketch)
+        flows: list[FlowAnalysis] = []
+        if (self.flows and other.flows
+                and len(self.flows) == self.total
+                and len(other.flows) == other.total):
+            first, second = sorted(
+                (self, other), key=lambda r: r.shards[0].start)
+            flows = first.flows + second.flows
+        return Fig2Result(
+            total=self.total + other.total, counts=counts,
+            remaining_with_shifts=(self.remaining_with_shifts
+                                   + other.remaining_with_shifts),
+            flows=flows, quality=self.quality.merge(other.quality),
+            sketches=sketches,
+            shards=tuple(sorted(self.shards + other.shards,
+                                key=lambda s: (s.start, s.shard_id))))
 
     # -- headline fractions ---------------------------------------------------
 
     def fraction(self, category: FlowCategory) -> float:
-        return self.counts.get(category, 0) / self.total if self.total else 0.0
+        if not self.total:
+            raise AnalysisError(
+                "empty dataset: no flows to take a fraction of")
+        return self.counts.get(category, 0) / self.total
 
     @property
     def fraction_filtered(self) -> float:
@@ -63,29 +242,79 @@ class Fig2Result:
     def fraction_possible_contention(self) -> float:
         """Flows that survive filtering AND show a level shift -- the
         paper's upper bound on passively-visible contention."""
-        return self.remaining_with_shifts / self.total if self.total else 0.0
+        if not self.total:
+            raise AnalysisError(
+                "empty dataset: no flows to take a fraction of")
+        return self.remaining_with_shifts / self.total
 
     def throughput_cdf(self, category: FlowCategory | None = None) -> Cdf:
+        """Exact mean-throughput CDF (materialized results only)."""
+        if len(self.flows) != self.total:
+            raise AnalysisError(
+                "per-flow analyses were streamed out of core; use "
+                "throughput_sketch() for the mergeable summary")
         samples = [f.mean_throughput_bps for f in self.flows
                    if category is None or f.category is category]
         return Cdf.from_samples(samples)
+
+    def throughput_sketch(self, category: FlowCategory | None = None
+                          ) -> CdfSketch:
+        """Mergeable mean-throughput CDF sketch (any result).
+
+        ``None`` merges every category's sketch into the population
+        sketch -- exact, because sketch merging just adds counts.
+        """
+        if category is not None:
+            if category not in self.sketches:
+                raise AnalysisError(
+                    f"no flows in category {category.value!r}")
+            return self.sketches[category]
+        merged = CdfSketch()
+        for sketch in self.sketches.values():
+            merged = merged.merge(sketch)
+        if merged.total == 0:
+            raise AnalysisError("empty dataset: no throughput sketch")
+        return merged
+
+    # -- population confidence intervals --------------------------------------
+
+    def fraction_ci(self, category: FlowCategory | None = None,
+                    confidence: float = 0.95, n_resamples: int = 1000,
+                    seed: int = 0) -> tuple[float, float, float]:
+        """Cluster-bootstrap CI for a headline fraction.
+
+        Resamples whole shards with replacement (shards are the
+        independent units the streaming run retains), so it needs a
+        result with >= 2 shards.  ``category=None`` gives the CI of
+        :attr:`fraction_possible_contention`.
+
+        Returns:
+            (point_estimate, ci_low, ci_high).
+        """
+        if len(self.shards) < 2:
+            raise AnalysisError(
+                "population CIs need >= 2 shards: re-run streamed "
+                f"with a smaller chunk size (have {len(self.shards)})")
+
+        if category is None:
+            hits = [float(s.remaining_with_shifts) for s in self.shards]
+        else:
+            hits = [float(dict(s.counts).get(category.value, 0))
+                    for s in self.shards]
+        sizes = [float(s.count) for s in self.shards]
+        ratio = _ShardRatio(tuple(hits), tuple(sizes))
+        return bootstrap_ci(range(len(self.shards)), statistic=ratio,
+                            confidence=confidence,
+                            n_resamples=n_resamples, seed=seed)
 
     # -- ground-truth validation (synthetic datasets only) ----------------------
 
     def detector_quality(self) -> dict[str, float]:
         """Precision/recall of "level shift => contention" on the
         remaining flows, measured against synthetic ground truth."""
-        remaining = [f for f in self.flows
-                     if f.category is FlowCategory.REMAINING]
-        tp = sum(1 for f in remaining
-                 if f.inferred_contention and f.true_contention)
-        fp = sum(1 for f in remaining
-                 if f.inferred_contention and not f.true_contention)
-        fn = sum(1 for f in remaining
-                 if not f.inferred_contention and f.true_contention)
-        missed_by_filters = sum(
-            1 for f in self.flows if f.true_contention
-            and f.category is not FlowCategory.REMAINING)
+        q = self.quality
+        tp, fp, fn = (q.true_positives, q.false_positives,
+                      q.false_negatives)
         precision = tp / (tp + fp) if tp + fp else 0.0
         recall = tp / (tp + fn) if tp + fn else 0.0
         return {
@@ -94,7 +323,7 @@ class Fig2Result:
             "false_negatives": float(fn),
             "precision": precision,
             "recall": recall,
-            "contending_flows_lost_to_filters": float(missed_by_filters),
+            "contending_flows_lost_to_filters": float(q.lost_to_filters),
         }
 
     def summary_rows(self) -> list[tuple[str, int, float]]:
@@ -105,6 +334,46 @@ class Fig2Result:
                      self.remaining_with_shifts,
                      self.fraction_possible_contention))
         return rows
+
+    def aggregate_fingerprint(self) -> str:
+        """Fingerprint of the order-free aggregates.
+
+        Deliberately excludes the flow list and the shard bookkeeping:
+        a streamed run (many shards, no flows) and a materialized run
+        (one shard, all flows) over the same population hash equal.
+        """
+        from ..store import fingerprint
+        return fingerprint({
+            "total": self.total,
+            "counts": {cat.value: n for cat, n in self.counts.items()},
+            "remaining_with_shifts": self.remaining_with_shifts,
+            "quality": self.quality,
+            "sketches": {cat.value: sketch
+                         for cat, sketch in self.sketches.items()},
+        }, kind="fig2-aggregate")
+
+
+class _ShardRatio:
+    """Picklable ratio-of-sums statistic over resampled shard indices."""
+
+    def __init__(self, hits: tuple[float, ...], sizes: tuple[float, ...]):
+        self.hits = hits
+        self.sizes = sizes
+
+    def __call__(self, indices) -> float:
+        idx = [int(i) for i in indices]
+        denom = sum(self.sizes[i] for i in idx)
+        if denom == 0:
+            return 0.0
+        return sum(self.hits[i] for i in idx) / denom
+
+
+def _sketches_of(flows) -> dict[FlowCategory, CdfSketch]:
+    samples: dict[FlowCategory, list[float]] = {}
+    for f in flows:
+        samples.setdefault(f.category, []).append(f.mean_throughput_bps)
+    return {cat: CdfSketch().add_samples(vals)
+            for cat, vals in samples.items()}
 
 
 def analyse_flow(record: NdtRecord,
@@ -186,15 +455,7 @@ def run_pipeline(dataset: NdtDataset,
                             min_relative_shift=min_relative_shift)
     flows = parallel_map(job, dataset.records, workers=workers,
                          chunk_size=chunk_size, progress=progress)
-    counts: dict[FlowCategory, int] = {}
-    for f in flows:
-        counts[f.category] = counts.get(f.category, 0) + 1
-    remaining_with_shifts = sum(
-        1 for f in flows
-        if f.category is FlowCategory.REMAINING and f.inferred_contention)
-    result = Fig2Result(total=len(flows), counts=counts,
-                        remaining_with_shifts=remaining_with_shifts,
-                        flows=flows)
+    result = Fig2Result.from_flows(flows)
     if store is not None and key is not None:
         store.put(key, result, kind="fig2",
                   label=f"fig2 n={len(flows)}")

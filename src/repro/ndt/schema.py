@@ -39,6 +39,9 @@ class NdtRecord:
             only, for validating the pipeline; empty otherwise).
         true_contention: ground truth: did another flow's CCA actually
             contend with this one (synthetic only).
+        cca: server-side congestion-control algorithm ("cubic", "bbr",
+            ...; M-Lab logs this in the TCPInfo row).  Empty when
+            unknown, e.g. records collected before the field existed.
     """
 
     uuid: str
@@ -48,6 +51,7 @@ class NdtRecord:
     snapshots: tuple[TcpInfoSnapshot, ...]
     true_class: str = ""
     true_contention: bool = False
+    cca: str = ""
 
     def __post_init__(self):
         if self.access_type not in ACCESS_TYPES:

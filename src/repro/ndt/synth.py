@@ -31,16 +31,28 @@ Behaviour classes (defaults in :class:`PopulationModel`):
 
 Cellular/satellite access adds random-walk rate variability on top of
 any class, which is why §3.1 removes those flows first.
+
+Scale: every flow is rendered from its **own** seed stream, derived
+from the generator seed and the flow index (:class:`RngRegistry`
+derivation).  Record ``i`` is therefore a pure function of
+``(model, seed, i)`` -- independent of every other record -- which is
+what makes the dataset streamable: :meth:`~SyntheticNdtGenerator.
+generate_chunks` yields it chunk by chunk at any chunk size,
+:meth:`~SyntheticNdtGenerator.generate_shard` regenerates any slice
+in isolation (a worker on another machine can render flows
+[start, start+count) without touching the rest), and both reproduce
+:meth:`~SyntheticNdtGenerator.generate` record for record.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from ..errors import ConfigError
-from ..sim.rng import RngRegistry
+from ..sim.rng import RngRegistry, _stream_seed
 from ..tcp.tcp_info import TcpInfoSnapshot
 from ..units import mbps
 from .schema import NdtDataset, NdtRecord
@@ -57,6 +69,19 @@ DEFAULT_ACCESS_MIX = (
     ("wifi", 0.10), ("cellular", 0.22), ("satellite", 0.03),
 )
 
+#: Server-side CCA mix, calibrated to the content-provider fairness
+#: study of Rüth et al. (PAPERS.md): CUBIC still carries the majority
+#: of flows, BBR runs on roughly a fifth of the large providers that
+#: dominate traffic, with a loss-based legacy remainder.  NDT servers
+#: themselves run Cubic or BBR; "other" models CDN fronts with tuned
+#: stacks.
+DEFAULT_CCA_MIX = (
+    ("cubic", 0.64), ("bbr", 0.22), ("reno", 0.09), ("other", 0.05),
+)
+
+#: Generation chunk size used when none is given.
+DEFAULT_CHUNK_SIZE = 2000
+
 
 @dataclass(frozen=True)
 class PopulationModel:
@@ -71,13 +96,15 @@ class PopulationModel:
     )
     plan_mix: tuple[tuple[float, float], ...] = DEFAULT_PLAN_MIX
     access_mix: tuple[tuple[str, float], ...] = DEFAULT_ACCESS_MIX
+    cca_mix: tuple[tuple[str, float], ...] = DEFAULT_CCA_MIX
     test_duration: float = 10.0
     snapshot_interval: float = 0.25
     throughput_noise: float = 0.04     # relative per-snapshot noise
     cellular_volatility: float = 0.25  # random-walk sigma per sqrt(s)
 
     def __post_init__(self):
-        for mix_name in ("class_mix", "plan_mix", "access_mix"):
+        for mix_name in ("class_mix", "plan_mix", "access_mix",
+                         "cca_mix"):
             probs = [p for _, p in getattr(self, mix_name)]
             if abs(sum(probs) - 1.0) > 1e-9:
                 raise ConfigError(f"{mix_name} probabilities must sum to 1")
@@ -98,6 +125,7 @@ class _FlowPlan:
     access_rate: float       # bytes/second
     behaviour: str
     min_rtt: float
+    cca: str = "cubic"
     contention: bool = False
     rate_fn: object = None   # fn(t) -> goodput bytes/s
     app_limited_frac: float = 0.0
@@ -129,10 +157,11 @@ class SyntheticNdtGenerator:
         else:
             rate = mbps(float(_choice(rng, m.plan_mix)))
         behaviour = _choice(rng, m.class_mix)
+        cca = _choice(rng, m.cca_mix)
         min_rtt = float(rng.lognormal(np.log(0.030), 0.6))
         min_rtt = min(max(min_rtt, 0.004), 0.4)
         plan = _FlowPlan(access_type=access_type, access_rate=rate,
-                         behaviour=behaviour, min_rtt=min_rtt)
+                         behaviour=behaviour, min_rtt=min_rtt, cca=cca)
         builder = getattr(self, f"_build_{behaviour}")
         builder(plan, rng)
         return plan
@@ -158,10 +187,17 @@ class SyntheticNdtGenerator:
     def _build_bulk_contended(self, plan: _FlowPlan,
                               rng: np.random.Generator) -> None:
         # A competing flow arrives (and possibly leaves): the NDT flow
-        # drops to a contended share, then maybe recovers.
+        # drops to a contended share, then maybe recovers.  BBR senders
+        # hold more than half the link against loss-based cross traffic
+        # (Rüth et al.); no share exceeds 70% of line rate, so every
+        # contended drop clears the detector's 25% relative-shift floor
+        # and recall measures the filters, not the share draw.
         m = self.model
         full = plan.access_rate * float(rng.uniform(0.9, 0.97))
-        share = full * float(rng.uniform(0.35, 0.65))
+        if plan.cca == "bbr":
+            share = full * float(rng.uniform(0.45, 0.70))
+        else:
+            share = full * float(rng.uniform(0.30, 0.60))
         t_in = float(rng.uniform(0.15, 0.6)) * m.test_duration
         leaves = rng.random() < 0.4
         t_out = t_in + float(rng.uniform(0.25, 0.8)) \
@@ -243,17 +279,63 @@ class SyntheticNdtGenerator:
             snapshots=tuple(snapshots),
             true_class=plan.behaviour,
             true_contention=plan.contention,
+            cca=plan.cca,
         )
+
+    # -- streaming generation ------------------------------------------------
+
+    def _flow_rng(self, index: int) -> np.random.Generator:
+        """The private RNG of flow ``index``.
+
+        Derived from (seed, index) alone, so flow ``index`` is the same
+        record no matter which chunk, shard, process, or machine
+        renders it.
+        """
+        return np.random.default_rng(
+            _stream_seed(self.rngs.seed, f"flow:{index}"))
+
+    def generate_record(self, index: int) -> NdtRecord:
+        """Generate the single record at position ``index``."""
+        if index < 0:
+            raise ConfigError(f"flow index must be >= 0: {index}")
+        rng = self._flow_rng(index)
+        return self._render(self._plan_flow(rng),
+                            f"synth-{index:08d}", rng)
+
+    def generate_shard(self, start: int, count: int) -> NdtDataset:
+        """Generate records [start, start+count) in isolation."""
+        if start < 0:
+            raise ConfigError(f"shard start must be >= 0: {start}")
+        if count <= 0:
+            raise ConfigError(f"shard count must be positive: {count}")
+        records = [self.generate_record(start + i) for i in range(count)]
+        return NdtDataset(
+            records=records,
+            description=(f"synthetic NDT shard [{start}, "
+                         f"{start + count}), seed={self.rngs.seed}"))
+
+    def generate_chunks(self, n_flows: int,
+                        chunk_size: int = DEFAULT_CHUNK_SIZE
+                        ) -> Iterator[NdtDataset]:
+        """Yield the ``n_flows`` population as bounded-memory chunks.
+
+        Concatenating the chunks reproduces :meth:`generate` record for
+        record at any ``chunk_size``.
+        """
+        if n_flows <= 0:
+            raise ConfigError(f"n_flows must be positive: {n_flows}")
+        if chunk_size <= 0:
+            raise ConfigError(
+                f"chunk_size must be positive: {chunk_size}")
+        for start in range(0, n_flows, chunk_size):
+            yield self.generate_shard(
+                start, min(chunk_size, n_flows - start))
 
     def generate(self, n_flows: int) -> NdtDataset:
         """Generate ``n_flows`` records (the paper used 9,984)."""
         if n_flows <= 0:
             raise ConfigError(f"n_flows must be positive: {n_flows}")
-        rng = self.rngs.stream("population")
-        records = [
-            self._render(self._plan_flow(rng), f"synth-{i:06d}", rng)
-            for i in range(n_flows)
-        ]
+        records = [self.generate_record(i) for i in range(n_flows)]
         return NdtDataset(
             records=records,
             description=(f"synthetic NDT population, n={n_flows}, "

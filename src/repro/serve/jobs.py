@@ -208,26 +208,86 @@ def execute_qa_eval(params: dict, store, workers) -> tuple[dict, object]:
     return summary, (outcome, findings)
 
 
+def execute_fig2_shard(params: dict, store, workers) -> tuple[dict, object]:
+    """``fig2-shard`` jobs: one shard of a streamed §3.1 pipeline run.
+
+    The cluster coordinator's unit of dispatch for ``repro run fig2
+    --cluster``: the node rebuilds the :class:`~repro.ndt.stream.
+    ShardSpec` from the same params the coordinator used, analyses it,
+    and stores the flowless partial under the spec's own content key --
+    which is what makes the shard pullable (and the merge idempotent)
+    by content address.  Only the default :class:`PopulationModel`
+    travels over the wire.
+    """
+    from ..ndt.stream import ShardSpec, analyse_shard
+
+    if store is None:
+        raise ConfigError("'fig2-shard' jobs need a store (the shard's "
+                          "partial travels by content address)")
+    spec = ShardSpec(
+        seed=_int_param(params, "seed", 0, minimum=0),
+        start=_int_param(params, "start", 0, minimum=0),
+        count=_int_param(params, "count", 2000),
+        min_relative_shift=_float_param(params, "min_relative_shift",
+                                        0.25))
+    key = spec.key()
+    partial = store.get(key)
+    cached = partial is not None
+    if not cached:
+        partial = analyse_shard(spec)
+        store.put(key, partial, kind="fig2-shard", label=spec.shard_id)
+    summary = {
+        "shard_id": spec.shard_id,
+        "shard_key": key,
+        "total": partial.total,
+        "remaining_with_shifts": partial.remaining_with_shifts,
+        "cached": cached,
+        "aggregate_fingerprint": partial.aggregate_fingerprint(),
+    }
+    return summary, {"shard_key": key}
+
+
 def execute_pipeline(params: dict, store, workers) -> tuple[dict, object]:
     """``pipeline`` jobs: the §3.1 passive NDT pipeline over a
-    synthetic dataset (Figure 2)."""
+    synthetic dataset (Figure 2).
+
+    ``streaming: true`` (or any request above the fig2 streaming
+    threshold) runs out of core -- bounded memory, per-shard store
+    checkpoints -- with aggregates byte-identical to the materialized
+    path; ``chunk_size`` sets the shard size.
+    """
+    from ..experiments.fig2 import STREAMING_THRESHOLD
     from ..ndt.pipeline import run_pipeline
-    from ..ndt.synth import SyntheticNdtGenerator
+    from ..ndt.stream import run_pipeline_streaming
+    from ..ndt.synth import DEFAULT_CHUNK_SIZE, SyntheticNdtGenerator
 
     flows = _int_param(params, "flows", 2000)
     seed = _int_param(params, "seed", 0, minimum=0)
-    dataset = SyntheticNdtGenerator(seed=seed).generate(flows)
-    result = run_pipeline(
-        dataset,
-        min_relative_shift=_float_param(params, "min_relative_shift",
-                                        0.25),
-        workers=workers, store=store)
+    min_relative_shift = _float_param(params, "min_relative_shift", 0.25)
+    streaming = params.get("streaming")
+    if streaming is None:
+        streaming = flows > STREAMING_THRESHOLD
+    if streaming:
+        result = run_pipeline_streaming(
+            flows, seed=seed,
+            chunk_size=_int_param(params, "chunk_size",
+                                  DEFAULT_CHUNK_SIZE),
+            min_relative_shift=min_relative_shift,
+            workers=workers, store=store,
+            resume=bool(params.get("resume", False)))
+    else:
+        dataset = SyntheticNdtGenerator(seed=seed).generate(flows)
+        result = run_pipeline(dataset,
+                              min_relative_shift=min_relative_shift,
+                              workers=workers, store=store)
     summary = {
         "total": result.total,
         "counts": {getattr(cat, "name", str(cat)): n
                    for cat, n in sorted(result.counts.items(),
                                         key=lambda kv: str(kv[0]))},
         "remaining_with_shifts": result.remaining_with_shifts,
+        "streamed": bool(streaming),
+        "aggregate_fingerprint": result.aggregate_fingerprint(),
     }
     return summary, result
 
@@ -376,6 +436,7 @@ EXECUTORS: dict[str, Callable] = {
     "campaign": execute_campaign,
     "paths": execute_paths,
     "pipeline": execute_pipeline,
+    "fig2-shard": execute_fig2_shard,
     "experiment": execute_experiment,
     "sweep": execute_sweep,
     "qa-fuzz": execute_qa_fuzz,

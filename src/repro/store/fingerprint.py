@@ -32,7 +32,8 @@ from ..errors import ConfigError
 
 #: Bump when cached-result semantics change without a package version
 #: bump (e.g. a simulator bug fix that alters results).
-STORE_SCHEMA_VERSION = 1
+#: 2: per-flow NDT seeding + mergeable Fig2Result (streaming pipeline).
+STORE_SCHEMA_VERSION = 2
 
 #: The default fingerprint salt: package version + store schema.
 CODE_VERSION = f"{__version__}+store{STORE_SCHEMA_VERSION}"
