@@ -1,0 +1,118 @@
+"""CI smoke for the shared-medium subsystem.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/medium_smoke.py
+
+Gates, in order:
+
+1. **Bianchi gate**: the slotted CSMA/CA DES's saturated goodput at
+   n in {2, 5} stations stays within 10% of Bianchi's renewal-cycle
+   closed form (the tier-1 tests pin 5%; CI boxes get headroom).
+2. **Both backends, both regimes**: the calibrated elastic probe cell
+   (reno cross at 20 Mbit/s / 20 ms) runs under ``medium="queue"``
+   and ``medium="csma-2"`` on the packet *and* fluid backends, and
+   every run reads contending -- the medium changes the mechanism
+   (MAC fairness vs queue sharing), not this cell's verdict.
+3. **Determinism**: the packet CSMA run repeats byte-identically
+   (same outcome fingerprint) and is invariant-clean under the
+   medium-state checker.
+4. **Cross-backend airtime agreement**: packet and fluid give the
+   probe delivered-byte shares within 0.15 on the contention cell
+   (the medium-airtime-agreement oracle's gate).
+"""
+
+import sys
+
+DURATION = 20.0
+RATE_MBPS = 20.0
+RTT_MS = 20.0
+SHARE_TOLERANCE = 0.15
+BIANCHI_TOLERANCE = 0.10
+
+
+def check(label, condition, detail=""):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}{': ' + detail if detail else ''}")
+    if not condition:
+        raise SystemExit(f"medium smoke failed: {label} ({detail})")
+
+
+def bianchi_gate():
+    from repro.medium import ACCESS_CLASSES, parse_medium
+    from repro.medium.bianchi import saturation_throughput
+    from repro.sim.engine import Simulator
+    from repro.sim.medium import MediumLink
+    from repro.sim.packet import Packet
+
+    rate, size, duration = 2.5e6, 1500, 8.0
+    print("Bianchi gate (saturated DES vs closed form)")
+    for n in (2, 5):
+        sim = Simulator()
+        link = MediumLink(sim, rate, parse_medium(f"csma-{n}"), seed=7)
+        link.add_tap(lambda pkt, now: link.send(
+            Packet(pkt.flow_id, size=size)))
+        for i in range(n):
+            for _ in range(10):
+                link.send(Packet(f"f{i}", size=size))
+        sim.run(until=duration)
+        measured = link.delivered_bytes / duration
+        predicted = saturation_throughput(
+            n, rate, size, ACCESS_CLASSES["best_effort"])
+        error = abs(measured - predicted) / predicted
+        check(f"n={n} within {BIANCHI_TOLERANCE:.0%}",
+              error <= BIANCHI_TOLERANCE,
+              f"DES {measured / 1e6:.3f} MB/s vs Bianchi "
+              f"{predicted / 1e6:.3f} MB/s ({error:.1%})")
+
+
+def scenario(backend, medium):
+    from repro.qa.scenario import Scenario
+    return Scenario(family="probe", rate_mbps=RATE_MBPS, rtt_ms=RTT_MS,
+                    qdisc="droptail", duration=DURATION, seed=1,
+                    cross_traffic="reno", backend=backend,
+                    medium=medium)
+
+
+def probe_share(outcome):
+    total = sum(outcome.delivered.values())
+    return outcome.delivered.get("probe", 0) / total if total else 0.0
+
+
+def main() -> int:
+    bianchi_gate()
+
+    from repro.qa.scenario import run_scenario
+
+    print("probe cell on both backends, both regimes")
+    outcomes = {}
+    for backend in ("packet", "fluid"):
+        for medium in ("queue", "csma-2"):
+            outcome = run_scenario(scenario(backend, medium))
+            outcomes[backend, medium] = outcome
+            probe = outcome.probe or {}
+            check(f"{backend}/{medium} reads contending",
+                  bool(probe.get("contending")),
+                  f"mean elasticity "
+                  f"{probe.get('mean_elasticity', 0.0):.2f}")
+
+    print("determinism (packet csma-2 repeated)")
+    again = run_scenario(scenario("packet", "csma-2"))
+    check("outcome fingerprint identical",
+          again.fingerprint()
+          == outcomes["packet", "csma-2"].fingerprint(),
+          again.fingerprint()[:16])
+
+    print("cross-backend airtime agreement on csma-2")
+    p_share = probe_share(outcomes["packet", "csma-2"])
+    f_share = probe_share(outcomes["fluid", "csma-2"])
+    check(f"probe shares within {SHARE_TOLERANCE}",
+          abs(p_share - f_share) <= SHARE_TOLERANCE,
+          f"packet {p_share:.3f} vs fluid {f_share:.3f}")
+
+    print("medium smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

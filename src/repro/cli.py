@@ -71,6 +71,8 @@ SMOKE_PARAMS: dict[str, dict] = {
                             "volatilities": (0.0, 0.1)},
     "envelope": {"backend": "fluid"},
     "robustness": {"budget": 40},
+    "medium_contention": {"backend": "fluid", "duration": 10.0,
+                          "mediums": ("queue", "csma-2", "csma-4")},
     "fig2_scale": {"population_sizes": (400, 1000),
                    "chunk_size": 100},
 }
@@ -148,6 +150,16 @@ def _resolve_experiment(args):
             params["backend"] = args.backend
         else:
             print(f"note: {args.experiment} takes no backend; ignoring",
+                  file=sys.stderr)
+    if getattr(args, "medium", None) is not None:
+        if "medium" in accepted:
+            params["medium"] = args.medium
+        elif "mediums" in accepted:
+            # Sweep experiments (E16) keep their queue control cells.
+            params["mediums"] = tuple(dict.fromkeys(
+                ("queue", args.medium)))
+        else:
+            print(f"note: {args.experiment} takes no medium; ignoring",
                   file=sys.stderr)
     if getattr(args, "cluster", None):
         if "cluster" in accepted:
@@ -332,8 +344,10 @@ def cmd_quicklook(args) -> int:
     """``repro quicklook``: probe one emulated path and print verdicts."""
     from .core.quicklook import run_quicklook
     result = run_quicklook(cross_traffic=args.cross,
-                           duration=args.duration, seed=args.seed or 0)
+                           duration=args.duration, seed=args.seed or 0,
+                           medium=args.medium)
     print(f"cross traffic:     {result.cross_traffic}")
+    print(f"medium:            {args.medium}")
     print(f"mean elasticity:   {result.mean_elasticity:.2f}")
     print(f"contending:        {result.verdict} ({result.category})")
     print(f"probe throughput:  {result.probe_throughput_mbps:.1f} Mbit/s")
@@ -787,6 +801,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulation backend for experiments that "
                             "accept one (fluid = rate-based fast path, "
                             "20-50x faster; see DESIGN.md)")
+    p_run.add_argument("--medium", metavar="MEDIUM",
+                       help="bottleneck access regime for experiments "
+                            "that accept one: 'queue' (default) or "
+                            "'csma-<n>[-prio]' for a CSMA/CA shared "
+                            "medium with n stations (see DESIGN.md)")
     p_run.add_argument("--cluster", metavar="NODES",
                        help="shard the experiment's inner work across "
                             "repro serve nodes (host1:8765,host2,...) "
@@ -817,6 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int)
     p_trace.add_argument("--workers", type=int)
     p_trace.add_argument("--backend", choices=("packet", "fluid"))
+    p_trace.add_argument("--medium", metavar="MEDIUM")
     p_trace.add_argument("--flows", type=int)
     p_trace.add_argument("--chunk-size", type=int, dest="chunk_size")
     add_cache_flags(p_trace)
@@ -833,6 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--seed", type=int)
     p_metrics.add_argument("--workers", type=int)
     p_metrics.add_argument("--backend", choices=("packet", "fluid"))
+    p_metrics.add_argument("--medium", metavar="MEDIUM")
     p_metrics.add_argument("--flows", type=int)
     p_metrics.add_argument("--chunk-size", type=int, dest="chunk_size")
     add_cache_flags(p_metrics)
@@ -877,6 +898,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "poisson, cbr, none)")
     p_quick.add_argument("--duration", type=float, default=30.0)
     p_quick.add_argument("--seed", type=int)
+    p_quick.add_argument("--medium", default="queue", metavar="MEDIUM",
+                         help="bottleneck access regime: 'queue' "
+                              "(default) or 'csma-<n>[-prio]' for a "
+                              "CSMA/CA shared medium with n stations")
     p_quick.set_defaults(fn=cmd_quicklook)
 
     p_qa = sub.add_parser(

@@ -47,7 +47,7 @@ from .merge import pull_objects
 
 #: Campaign params forwarded into ``paths`` shard tasks.
 _CAMPAIGN_PARAM_KEYS = ("n_paths", "seed", "duration", "fq_fraction",
-                        "backend")
+                        "backend", "medium")
 
 
 @dataclass(frozen=True)

@@ -13,16 +13,17 @@ attached.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
 from ..errors import ConfigError
+from ..medium.config import MEDIUM_DEFAULT, parse_medium
 from ..runtime import FaultPolicy, parallel_map
 from ..qdisc.fifo import DropTailQueue
 from ..qdisc.fq import DrrFairQueue
 from ..sim.engine import Simulator
-from ..sim.network import default_buffer_packets, dumbbell
+from ..sim.network import default_buffer_packets, dumbbell, medium_dumbbell
 from ..traffic.mix import CROSS_TRAFFIC_IS_ELASTIC, make_cross_traffic
 from ..units import mbps, ms
 from .detector import ContentionDetector, DetectorVerdict, confusion_counts
@@ -40,6 +41,9 @@ class PathSpec:
         cross_traffic: a name from the cross-traffic registry.
         buffer_multiplier: bottleneck buffer, in BDPs.
         seed: per-path seed.
+        medium: bottleneck access regime -- ``"queue"`` (a plain
+            serializing link) or a CSMA/CA shared medium such as
+            ``"csma-4"`` (see :func:`repro.medium.parse_medium`).
     """
 
     rate_mbps: float
@@ -48,12 +52,14 @@ class PathSpec:
     cross_traffic: str
     buffer_multiplier: float = 1.0
     seed: int = 0
+    medium: str = MEDIUM_DEFAULT
 
     def __post_init__(self):
         if self.rate_mbps <= 0 or self.rtt_ms <= 0:
             raise ConfigError(f"invalid path spec: {self}")
         if self.qdisc not in ("droptail", "fq"):
             raise ConfigError(f"unknown qdisc {self.qdisc!r}")
+        parse_medium(self.medium)  # raises ConfigError on bad values
 
     @property
     def truly_contending(self) -> bool:
@@ -81,6 +87,19 @@ class PathSpec:
         """
         return (CROSS_TRAFFIC_IS_ELASTIC[self.cross_traffic]
                 and self.qdisc == "fq")
+
+
+def _spec_config(spec: PathSpec) -> dict:
+    """``spec`` as a fingerprint payload.
+
+    Hashes identically to the bare dataclass for queue-regime paths
+    (the ``medium`` key is omitted at its default), so every
+    pre-medium cache entry stays addressable.
+    """
+    config = {f.name: getattr(spec, f.name) for f in fields(spec)}
+    if config["medium"] == MEDIUM_DEFAULT:
+        del config["medium"]
+    return config
 
 
 @dataclass(frozen=True)
@@ -178,7 +197,8 @@ def sample_paths(n_paths: int, seed: int = 0,
                  cross_traffic_mix: tuple[tuple[str, float], ...] = (
                      ("none", 0.25), ("video", 0.15), ("poisson", 0.15),
                      ("cbr", 0.10), ("reno", 0.20), ("bbr", 0.15)),
-                 fq_fraction: float = 0.3) -> list[PathSpec]:
+                 fq_fraction: float = 0.3,
+                 medium: str = MEDIUM_DEFAULT) -> list[PathSpec]:
     """Sample a path population.
 
     Args:
@@ -186,7 +206,10 @@ def sample_paths(n_paths: int, seed: int = 0,
         cross_traffic_mix: (name, probability) pairs.
         fq_fraction: fraction of paths with per-flow fair queueing at
             the bottleneck (the §2.1 isolation deployment knob).
+        medium: bottleneck access regime for every path ("queue", or a
+            CSMA/CA medium name -- a last-hop WLAN study population).
     """
+    parse_medium(medium)  # raises ConfigError on bad values
     if n_paths <= 0:
         raise ConfigError(f"n_paths must be positive: {n_paths}")
     probs = [p for _, p in cross_traffic_mix]
@@ -203,6 +226,7 @@ def sample_paths(n_paths: int, seed: int = 0,
             cross_traffic=str(names[rng.choice(len(names), p=probs)]),
             buffer_multiplier=float(rng.choice([0.5, 1.0, 2.0])),
             seed=int(rng.integers(0, 2**31)),
+            medium=medium,
         ))
     return specs
 
@@ -230,11 +254,18 @@ def run_path(spec: PathSpec, duration: float = 30.0,
     rtt = ms(spec.rtt_ms)
     buffer_packets = default_buffer_packets(rate, rtt,
                                             spec.buffer_multiplier)
-    if spec.qdisc == "fq":
-        qdisc = DrrFairQueue(limit_packets=buffer_packets)
+
+    def make_qdisc():
+        if spec.qdisc == "fq":
+            return DrrFairQueue(limit_packets=buffer_packets)
+        return DropTailQueue(limit_packets=buffer_packets)
+
+    medium_spec = parse_medium(getattr(spec, "medium", MEDIUM_DEFAULT))
+    if medium_spec is None:
+        path = dumbbell(sim, rate, rtt, qdisc=make_qdisc())
     else:
-        qdisc = DropTailQueue(limit_packets=buffer_packets)
-    path = dumbbell(sim, rate, rtt, qdisc=qdisc)
+        path = medium_dumbbell(sim, rate, rtt, medium_spec,
+                               qdisc_factory=make_qdisc, seed=spec.seed)
     probe = ElasticityProbe(
         sim, path, capacity_hint=rate if capacity_hint else None)
     probe.start()
@@ -265,14 +296,16 @@ class Campaign:
                  detector: ContentionDetector | None = None,
                  fq_fraction: float = 0.3,
                  cross_traffic_mix=None,
-                 backend: str = "packet"):
+                 backend: str = "packet",
+                 medium: str = MEDIUM_DEFAULT):
         if backend not in ("packet", "fluid"):
             raise ConfigError(f"unknown backend {backend!r}")
         kwargs = {}
         if cross_traffic_mix is not None:
             kwargs["cross_traffic_mix"] = cross_traffic_mix
         self.specs = sample_paths(n_paths, seed=seed,
-                                  fq_fraction=fq_fraction, **kwargs)
+                                  fq_fraction=fq_fraction,
+                                  medium=medium, **kwargs)
         self.duration = duration
         self.backend = backend
         self.detector = detector if detector is not None \
@@ -281,7 +314,7 @@ class Campaign:
     # -- store fingerprints ----------------------------------------------
 
     def _task_config(self, spec: PathSpec) -> dict:
-        config = {"spec": spec, "duration": self.duration,
+        config = {"spec": _spec_config(spec), "duration": self.duration,
                   "detector": self.detector.fingerprint_config()}
         # The packet backend is the historical default; omitting the
         # key keeps every pre-fluid cache entry addressable.
@@ -298,7 +331,8 @@ class Campaign:
         """The whole campaign's config fingerprint (names the
         checkpoint manifest)."""
         from ..store import fingerprint
-        config = {"specs": list(self.specs), "duration": self.duration,
+        config = {"specs": [_spec_config(s) for s in self.specs],
+                  "duration": self.duration,
                   "detector": self.detector.fingerprint_config()}
         if self.backend != "packet":
             config["backend"] = self.backend

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..medium import parse_medium
 from ..sim.engine import Simulator
-from ..sim.network import dumbbell
+from ..sim.network import dumbbell, medium_dumbbell
 from ..traffic.mix import make_cross_traffic
 from ..units import mbps, ms, to_mbps
 from .detector import ContentionDetector
@@ -26,10 +27,20 @@ class QuicklookResult:
 
 def run_quicklook(cross_traffic: str = "reno", duration: float = 30.0,
                   rate_mbps: float = 48.0, rtt_ms: float = 100.0,
-                  seed: int = 0) -> QuicklookResult:
-    """Probe one emulated path carrying ``cross_traffic``."""
+                  seed: int = 0, medium: str = "queue") -> QuicklookResult:
+    """Probe one emulated path carrying ``cross_traffic``.
+
+    ``medium`` swaps the bottleneck queue for a CSMA/CA shared medium
+    ("csma-<n>", optionally "-prio"); the probe and each cross flow
+    then contend as separate stations.
+    """
     sim = Simulator()
-    path = dumbbell(sim, mbps(rate_mbps), ms(rtt_ms))
+    spec = parse_medium(medium)
+    if spec is None:
+        path = dumbbell(sim, mbps(rate_mbps), ms(rtt_ms))
+    else:
+        path = medium_dumbbell(sim, mbps(rate_mbps), ms(rtt_ms), spec,
+                               seed=seed)
     probe = ElasticityProbe(sim, path, capacity_hint=mbps(rate_mbps))
     probe.start()
     cross = make_cross_traffic(cross_traffic, sim, path, "cross", seed=seed)

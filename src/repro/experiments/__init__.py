@@ -15,13 +15,14 @@
 ``envelope``    E12: the detector's calibrated envelope on either backend
 ``robustness``  E13: coverage-guided search vs random fuzzing, head to head
 ``fig2_scale``  E15: Figure 2 fractions + bootstrap CIs vs population size
+``medium_contention``  E16: the probe question on a CSMA/CA shared medium
 ==============  ===========================================================
 """
 
 from . import (access_link, bwe_isolation, campaign_eval,
                cellular_robustness, envelope, fairness_matrix, fig2,
-               fig2_scale, fig3, fq_ablation, robustness, subpacket,
-               tbf_jitter, tslp_vs_elasticity)
+               fig2_scale, fig3, fq_ablation, medium_contention,
+               robustness, subpacket, tbf_jitter, tslp_vs_elasticity)
 from .runner import ExperimentResult, Stopwatch, sweep
 
 #: Experiment registry for the CLI.
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "envelope": envelope.run,
     "robustness": robustness.run,
     "fig2_scale": fig2_scale.run,
+    "medium_contention": medium_contention.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "Stopwatch", "sweep",
@@ -47,4 +49,4 @@ __all__ = ["EXPERIMENTS", "ExperimentResult", "Stopwatch", "sweep",
            "fairness_matrix", "campaign_eval", "access_link",
            "tslp_vs_elasticity", "bwe_isolation",
            "cellular_robustness", "envelope", "robustness",
-           "fig2_scale"]
+           "fig2_scale", "medium_contention"]

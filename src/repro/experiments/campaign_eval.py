@@ -37,6 +37,7 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
         workers: int | None = None,
         resume: bool = False,
         backend: str = "packet",
+        medium: str = "queue",
         cluster: str | None = None) -> ExperimentResult:
     """Run the campaign and evaluate the hypothesis.
 
@@ -51,20 +52,27 @@ def run(n_paths: int = 48, duration: float = 30.0, seed: int = 1,
     ``cluster`` ("host1:8765,host2:...") shards the per-path work
     across ``repro serve`` nodes and merges results back into the
     local store -- byte-identical to a local run (SERVING.md).
+    ``medium`` replaces every path's bottleneck queue with a shared
+    medium ("csma-<n>", optionally "-prio"); see DESIGN.md and E16
+    for how that bends the detector's calibration.
     """
     with Stopwatch() as watch:
         if cluster:
             from ..cluster import run_clustered_campaign
+            params = {"n_paths": n_paths, "seed": seed,
+                      "duration": duration,
+                      "fq_fraction": fq_fraction, "backend": backend}
+            if medium != "queue":
+                params["medium"] = medium
             campaign = run_clustered_campaign(
-                {"n_paths": n_paths, "seed": seed, "duration": duration,
-                 "fq_fraction": fq_fraction, "backend": backend},
-                cluster, workers=workers, resume=resume)
+                params, cluster, workers=workers, resume=resume)
         else:
             campaign = Campaign(n_paths=n_paths, seed=seed,
                                 duration=duration,
                                 fq_fraction=fq_fraction,
-                                backend=backend).run(workers=workers,
-                                                     resume=resume)
+                                backend=backend,
+                                medium=medium).run(workers=workers,
+                                                   resume=resume)
         evaluation = evaluate_hypothesis(campaign)
         roc = _roc_rows(campaign, roc_thresholds)
         groups = campaign.by_cross_traffic()

@@ -19,7 +19,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..units import DEFAULT_PACKET_SIZE
 from .flows import Feedback, FluidFlow
-from .queue import FairBottleneck, build_bottleneck
+from .queue import ContentionBottleneck, FairBottleneck, build_bottleneck
 
 #: Default integration step (seconds): well below the shortest pulse
 #: period (200 ms at f_p = 5 Hz) and the smallest base RTT (20 ms).
@@ -52,13 +52,17 @@ class FluidModel:
         jitter_mask: per-flow booleans selecting which flows jitter
             touches (None = all); cross traffic is excluded to match
             the packet backend's "measured endpoints only" semantics.
+        medium: optional :class:`~repro.medium.config.MediumSpec`; the
+            bottleneck becomes a Bianchi-law
+            :class:`~repro.fluid.queue.ContentionBottleneck` and every
+            flow's delay feedback is per-station contention delay.
     """
 
     def __init__(self, flows: list[FluidFlow], rate: float,
                  buffer_bytes: float, qdisc: str = "droptail",
                  dt: float = DEFAULT_DT, ecn: bool = False,
                  jitter: float = 0.0, jitter_seed: int = 0,
-                 jitter_mask=None):
+                 jitter_mask=None, medium=None):
         if not flows:
             raise ConfigError("fluid model needs at least one flow")
         if dt <= 0:
@@ -69,8 +73,10 @@ class FluidModel:
         self.rate = rate
         self.dt = dt
         self.bottleneck, self.effective_rate = build_bottleneck(
-            qdisc, len(flows), rate, buffer_bytes, ecn=ecn)
-        self._fair = isinstance(self.bottleneck, FairBottleneck)
+            qdisc, len(flows), rate, buffer_bytes, ecn=ecn,
+            medium=medium)
+        self._fair = isinstance(self.bottleneck,
+                                (FairBottleneck, ContentionBottleneck))
         self.now = 0.0
         self.ticks = 0
         self.jitter = jitter

@@ -24,6 +24,8 @@ from collections import deque
 import numpy as np
 
 from ..errors import ConfigError
+from ..medium.bianchi import airtime_shares, expected_service_time
+from ..medium.config import MediumSpec
 from ..units import DEFAULT_PACKET_SIZE
 
 
@@ -283,10 +285,162 @@ class PolicerBottleneck:
         return TickResult(served, dropped, np.zeros(self.n), 0.0)
 
 
+class ContentionBottleneck:
+    """Bianchi-style shared-medium airtime model (the fluid MAC).
+
+    Flows are assigned to ``spec.n_stations`` stations round-robin by
+    vector index (matching the packet backend's first-appearance
+    order).  Each tick:
+
+    1. Arrivals join per-flow backlogs; each *station's* backlog is
+       tail-dropped at ``buffer_bytes`` (per-station buffers, matching
+       the packet side's per-station qdiscs).
+    2. The set of backlogged stations is the *active* contention set;
+       :func:`repro.medium.bianchi.airtime_shares` for their access
+       classes gives each a saturation airtime cap.  Unused capacity
+       from under-loaded stations is water-filled back to the rest --
+       idle stations do not burn airtime they are not contending for.
+    3. Per-flow contention delay is the station's backlog sojourn at
+       its airtime cap plus the Bianchi expected MAC service time for
+       the active set -- the head-of-line access delay a sender feels
+       even with an empty queue, which is exactly the feedback-shape
+       difference from a FIFO that E16 measures.
+
+    The per-active-set Bianchi solve is cached, so steady states cost
+    one dict lookup per tick.
+    """
+
+    def __init__(self, n_flows: int, rate: float, buffer_bytes: float,
+                 spec: MediumSpec,
+                 payload_bytes: float = DEFAULT_PACKET_SIZE):
+        if rate <= 0 or buffer_bytes <= 0:
+            raise ConfigError("need positive rate and buffer")
+        self.n = n_flows
+        self.rate = rate
+        self.buffer_bytes = buffer_bytes
+        self.spec = spec
+        self.station_of = np.array(
+            [i % spec.n_stations for i in range(n_flows)], dtype=int)
+        self.queues = np.zeros(n_flows)
+        self.accepted_bytes = 0.0
+        self.served_bytes = 0.0
+        self.dropped_bytes = 0.0
+        self.marked_bytes = 0.0
+        self._payload_time = payload_bytes / rate
+        self._share_cache: dict[tuple, tuple] = {}
+        self._flow_delay = np.zeros(n_flows)
+
+    @property
+    def backlog(self) -> float:
+        return float(self.queues.sum())
+
+    def _station_backlogs(self) -> np.ndarray:
+        out = np.zeros(self.spec.n_stations)
+        np.add.at(out, self.station_of, self.queues)
+        return out
+
+    def _solve(self, active: tuple[int, ...]) -> tuple:
+        """(per-active-station rate caps, MAC access delay) -- cached."""
+        cached = self._share_cache.get(active)
+        if cached is None:
+            classes = [self.spec.station_class(s) for s in active]
+            shares = airtime_shares(classes, self._payload_time)
+            caps = tuple(share * self.rate for share in shares)
+            access = tuple(
+                expected_service_time(classes, self._payload_time,
+                                      station=k)
+                for k in range(len(active)))
+            cached = (caps, access)
+            self._share_cache[active] = cached
+        return cached
+
+    def tick(self, arrivals: np.ndarray, dt: float) -> TickResult:
+        dropped = np.zeros(self.n)
+        self.queues += arrivals
+        self.accepted_bytes += float(arrivals.sum())
+        backlogs = self._station_backlogs()
+        # Per-station tail drop, proportional across the station's flows.
+        for s in np.flatnonzero(backlogs > self.buffer_bytes):
+            flows = np.flatnonzero(self.station_of == s)
+            over = backlogs[s] - self.buffer_bytes
+            keep = self.buffer_bytes / backlogs[s]
+            dropped[flows] += self.queues[flows] * (1.0 - keep)
+            self.queues[flows] *= keep
+            backlogs[s] -= over
+        drop_total = float(dropped.sum())
+        if drop_total > 0.0:
+            self.dropped_bytes += drop_total
+            self.accepted_bytes -= drop_total
+
+        served = np.zeros(self.n)
+        active = tuple(int(s) for s in np.flatnonzero(backlogs > 1e-9))
+        if active:
+            caps, access = self._solve(active)
+            budgets = {s: caps[k] * dt for k, s in enumerate(active)}
+            weights = {s: caps[k] for k, s in enumerate(active)}
+            # Water-fill: capacity a station cannot use goes back to
+            # the still-backlogged ones in proportion to their shares.
+            for _ in range(len(active)):
+                spare = 0.0
+                busy = []
+                for s in list(budgets):
+                    take = min(backlogs[s], budgets[s])
+                    if backlogs[s] > budgets[s] + 1e-9:
+                        busy.append(s)
+                    spare += budgets[s] - take
+                if spare <= 1e-9 or not busy:
+                    break
+                weight_sum = sum(weights[s] for s in busy)
+                for s in list(budgets):
+                    if s in busy:
+                        budgets[s] += spare * weights[s] / weight_sum
+                    else:
+                        budgets[s] = min(budgets[s], backlogs[s])
+            for k, s in enumerate(active):
+                flows = np.flatnonzero(self.station_of == s)
+                station_q = float(self.queues[flows].sum())
+                if station_q <= 0.0:
+                    continue
+                take = min(station_q, budgets[s])
+                frac = take / station_q
+                served[flows] = self.queues[flows] * frac
+                self.queues[flows] *= (1.0 - frac)
+                # Sojourn at the station's cap plus MAC access delay.
+                cap = max(caps[k], 1e-9)
+                self._flow_delay[flows] = (
+                    (station_q - take) / cap + access[k])
+            self._flow_delay[~np.isin(self.station_of,
+                                      np.array(active))] = 0.0
+        else:
+            self._flow_delay[:] = 0.0
+        self.served_bytes += float(served.sum())
+        total_cap = sum(self._solve(active)[0]) if active else self.rate
+        delay = self.backlog / max(total_cap, 1e-9)
+        return TickResult(served, dropped, np.zeros(self.n), delay)
+
+    def flow_delay(self, i: int, recent_rate: float) -> float:
+        """Contention delay flow ``i`` feels (recent_rate unused: the
+        Bianchi cap, not the measured rate, sets the drain speed)."""
+        return float(self._flow_delay[i])
+
+
 def build_bottleneck(qdisc: str, n_flows: int, rate: float,
-                     buffer_bytes: float, ecn: bool = False):
+                     buffer_bytes: float, ecn: bool = False,
+                     medium: MediumSpec | None = None):
     """Fluid bottleneck for one :data:`repro.qa.scenario.QDISC_NAMES`
-    entry.  Returns ``(bottleneck, effective_rate)``."""
+    entry.  Returns ``(bottleneck, effective_rate)``.
+
+    When ``medium`` names a CSMA/CA spec the bottleneck is a
+    :class:`ContentionBottleneck` regardless of ``qdisc``: the fluid
+    contention model approximates every per-station discipline as a
+    tail-dropped buffer (AQM/shaper dynamics inside one station are
+    second-order next to airtime arbitration; the packet backend keeps
+    the full per-station qdisc and the agreement oracle bounds the
+    gap).
+    """
+    if medium is not None:
+        return ContentionBottleneck(n_flows, rate, buffer_bytes,
+                                    medium), rate
     if qdisc in ("droptail", "htb"):
         return FifoBottleneck(n_flows, rate, buffer_bytes), rate
     if qdisc == "red":

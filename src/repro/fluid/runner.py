@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..core.detector import ContentionDetector
 from ..core.probe import ProbeReport
 from ..errors import ConfigError
+from ..medium.config import parse_medium
 from ..sim.network import default_buffer_packets
 from ..units import DEFAULT_PACKET_SIZE, mbps, ms
 from .flows import make_cross_traffic, make_flow_cca
@@ -77,7 +78,9 @@ def run_scenario_fluid(scenario, check_invariants: bool = True):
                        qdisc=scenario.qdisc, ecn=ecn,
                        jitter=scenario.timing_jitter,
                        jitter_seed=scenario.seed,
-                       jitter_mask=[name != "cross" for name in names])
+                       jitter_mask=[name != "cross" for name in names],
+                       medium=parse_medium(getattr(scenario, "medium",
+                                                   "queue")))
     model.run(scenario.duration)
 
     delivered = {name: int(round(flow.delivered_bytes))
@@ -126,7 +129,9 @@ def run_path_fluid(spec, duration: float = 30.0,
                                seed=spec.seed)
     if cross is not None:
         flows.append(cross)
-    model = FluidModel(flows, rate, buffer_bytes, qdisc=spec.qdisc)
+    model = FluidModel(flows, rate, buffer_bytes, qdisc=spec.qdisc,
+                       medium=parse_medium(getattr(spec, "medium",
+                                                   "queue")))
     model.run(duration)
 
     report = _probe_report(probe, duration)

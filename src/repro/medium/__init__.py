@@ -1,0 +1,34 @@
+"""Shared-medium (CSMA/CA) bottleneck subsystem.
+
+Every other bottleneck in this repo is a *queue*: packets (or fluid
+cohorts) wait in a buffer and drain at the link rate.  This package
+models the other regime the paper explicitly sidesteps (it drops
+inferred-cellular flows from the §3.1 NDT analysis): a *shared medium*,
+where senders are stations arbitrating for airtime with carrier
+sensing, NAV deferral, inter-frame spacing, and binary-exponential
+backoff -- Wi-Fi/5G-NR-U style contention.
+
+The package holds what both backends share:
+
+* :mod:`repro.medium.config` -- the ``medium`` scenario-axis grammar
+  (``"queue"`` / ``"csma-<n>"`` / ``"csma-<n>-prio"``), the MAC access
+  classes, and the slot/IFS timing constants.
+* :mod:`repro.medium.bianchi` -- Bianchi's fixed-point saturation
+  model, used as the fluid backend's airtime law *and* as the packet
+  backend's validation ground truth.
+
+The packet-level DES lives in :mod:`repro.sim.medium`
+(:class:`~repro.sim.medium.MediumLink`); the fluid counterpart is
+:class:`repro.fluid.queue.ContentionBottleneck`.
+"""
+
+from .bianchi import (airtime_shares, expected_service_time,
+                      saturation_throughput, transmit_probabilities)
+from .config import (ACCESS_CLASSES, MEDIUM_DEFAULT, PER_TX_OVERHEAD, SIFS,
+                     SLOT_TIME, MacClass, MediumSpec, medium_names,
+                     parse_medium)
+
+__all__ = ["ACCESS_CLASSES", "MEDIUM_DEFAULT", "PER_TX_OVERHEAD", "SIFS",
+           "SLOT_TIME", "MacClass", "MediumSpec", "medium_names",
+           "parse_medium", "airtime_shares", "expected_service_time",
+           "saturation_throughput", "transmit_probabilities"]

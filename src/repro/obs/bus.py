@@ -49,6 +49,20 @@ class EventKind:
       the reading when the bin completed an estimator window.
     * ``LOSS`` / ``RTO`` -- transport loss events.
 
+    Shared-medium (CSMA/CA) events, emitted by
+    :class:`~repro.sim.medium.MediumLink` with ``meta["station"]``:
+
+    * ``MEDIUM_DEFER`` -- a station found the medium busy on arrival
+      and deferred under the NAV; ``value`` is the remaining busy time.
+    * ``MEDIUM_TXOP`` -- a station won the contention round and is
+      transmitting alone; ``value`` is the frame size and
+      ``meta["duration"]`` the airtime consumed.
+    * ``MEDIUM_COLLISION`` -- two or more backoff counters expired in
+      the same slot; one event per colliding station, with
+      ``meta["duration"]`` (shared airtime) and ``meta["colliders"]``.
+    * ``MEDIUM_BACKOFF`` -- a station drew a fresh backoff counter;
+      ``value`` is the counter, ``meta["cw"]`` the window it came from.
+
     Engine events:
 
     * ``SIM_START`` -- a new :class:`~repro.sim.engine.Simulator` was
@@ -69,11 +83,19 @@ class EventKind:
     PULSE = "pulse"
     LOSS = "loss"
     RTO = "rto"
+    MEDIUM_DEFER = "medium.defer"
+    MEDIUM_TXOP = "medium.txop"
+    MEDIUM_COLLISION = "medium.collision"
+    MEDIUM_BACKOFF = "medium.backoff"
     SIM_START = "sim_start"
     SIM_RUN = "sim_run"
 
     #: kinds participating in queue byte-conservation accounting
     QUEUE_KINDS = frozenset({ENQUEUE, DEQUEUE, DROP})
+
+    #: kinds emitted by the shared-medium MAC layer
+    MEDIUM_KINDS = frozenset({MEDIUM_DEFER, MEDIUM_TXOP,
+                              MEDIUM_COLLISION, MEDIUM_BACKOFF})
 
 
 class TraceEvent:

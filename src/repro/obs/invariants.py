@@ -1,6 +1,6 @@
 """Trace-driven invariant checkers.
 
-Four invariants every healthy simulation must satisfy:
+Five invariants every healthy simulation must satisfy:
 
 * **Monotonic clock** -- event timestamps never go backwards within one
   simulator's lifetime.
@@ -12,6 +12,9 @@ Four invariants every healthy simulation must satisfy:
   qdisc's actual occupancy).
 * **Cwnd bounds** -- every congestion-window update stays finite and
   within sane bounds.
+* **Medium state** -- on a shared (CSMA/CA) medium, successful
+  transmissions never overlap and consumed airtime never exceeds
+  wall-clock time in any window.
 
 The checkers consume :class:`~repro.obs.bus.TraceEvent` streams, so the
 same code runs in three modes:
@@ -247,22 +250,109 @@ class CwndBoundsChecker(InvariantChecker):
                        f"{self.max_cwnd}] (flow {event.flow})")
 
 
+class MediumChecker(InvariantChecker):
+    """Shared-medium MAC sanity, per medium source.
+
+    Two invariants over ``medium.txop`` / ``medium.collision`` events
+    (both carry ``meta["duration"]``, the airtime the event consumed):
+
+    * **At most one successful transmitter at a time** -- a ``txop``
+      may not start before the previous ``txop``'s airtime has ended.
+      Collisions are exempt: their events are deliberately concurrent.
+    * **Airtime sums to <= 1 per window** -- within every
+      ``WINDOW``-second window, the airtime consumed (successful
+      transmissions summed exactly; collision airtime counted once per
+      collision, not once per collider) never exceeds the window.
+    """
+
+    name = "medium_state"
+
+    #: airtime accounting window (seconds)
+    WINDOW = 1.0
+
+    def __init__(self, strict: bool = False):
+        super().__init__(strict)
+        self._txop_end: dict[str, float] = {}
+        self._busy_end: dict[str, float] = {}
+        self._windows: dict[str, dict[int, float]] = {}
+
+    def _reset(self) -> None:
+        self._txop_end.clear()
+        self._busy_end.clear()
+        self._windows.clear()
+
+    def _add_airtime(self, event: TraceEvent, src: str, start: float,
+                     end: float) -> None:
+        """Charge ``[start, end)`` to per-window airtime and check."""
+        windows = self._windows.setdefault(src, {})
+        w = int(start // self.WINDOW)
+        while start < end - 1e-12:
+            edge = (w + 1) * self.WINDOW
+            piece = min(end, edge) - start
+            total = windows.get(w, 0.0) + piece
+            windows[w] = total
+            if total > self.WINDOW + 1e-6:
+                self._fail(event.time, src,
+                           f"airtime {total:.6f}s in window {w} exceeds "
+                           f"{self.WINDOW}s: the medium is over-granted")
+                return
+            start = edge
+            w += 1
+
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == EventKind.SIM_START:
+            self._reset()
+            return
+        if kind not in (EventKind.MEDIUM_TXOP, EventKind.MEDIUM_COLLISION):
+            return
+        src = event.src
+        t = event.time
+        duration = float((event.meta or {}).get("duration", 0.0))
+        if duration < 0:
+            self._fail(t, src, f"negative airtime duration: {duration}")
+            return
+        if kind == EventKind.MEDIUM_TXOP:
+            last_end = self._txop_end.get(src, float("-inf"))
+            if t < last_end - 1e-9:
+                self._fail(t, src,
+                           f"overlapping successful transmissions: txop "
+                           f"at {t:.6f} before previous ends at "
+                           f"{last_end:.6f}")
+            self._txop_end[src] = max(last_end, t + duration)
+            # Successful txops must be disjoint, so their durations sum
+            # exactly; charging the raw duration makes a double-grant
+            # show up as airtime > window.
+            self._add_airtime(event, src, t, t + duration)
+            self._busy_end[src] = max(self._busy_end.get(src, 0.0),
+                                      t + duration)
+        else:
+            # One collision emits an event per collider over the same
+            # airtime; the busy-end clamp charges that airtime once.
+            begin = max(t, self._busy_end.get(src, float("-inf")))
+            end = t + duration
+            if end > begin:
+                self._add_airtime(event, src, begin, end)
+                self._busy_end[src] = end
+
+
 def all_checkers(strict: bool = False, min_cwnd: float = 0.5,
                  max_cwnd: float = 2e9,
                  gate_clock_to_runs: bool = False) -> list[InvariantChecker]:
-    """One instance of each of the four invariant checkers."""
+    """One instance of each of the five invariant checkers."""
     return [
         MonotonicClockChecker(strict, gate_to_runs=gate_clock_to_runs),
         QueueNonNegativeChecker(strict),
         ByteConservationChecker(strict),
         CwndBoundsChecker(strict, min_cwnd=min_cwnd, max_cwnd=max_cwnd),
+        MediumChecker(strict),
     ]
 
 
 def check_trace(events: Sequence[TraceEvent], qdiscs: Iterable = (),
                 min_cwnd: float = 0.5,
                 max_cwnd: float = 2e9) -> list[Violation]:
-    """Run all four invariant checkers over a recorded trace.
+    """Run all five invariant checkers over a recorded trace.
 
     Args:
         events: the trace, in emission order.

@@ -3,9 +3,10 @@
 Coverage-guided fuzzing needs a notion of "somewhere new".  A
 :class:`FeatureCell` coarsens one scenario *and its outcome* into a
 tuple of categorical features -- qdisc, CCA-mix class, cross-traffic
-type, load ratio, buffer depth, timing-jitter level, backend, plus
-three outcome-derived buckets (detector-confidence, probe-share, and
-queue residency) --
+type, load ratio, buffer depth, timing-jitter level, backend, the
+shared-medium regime (queue vs CSMA/CA, bucketed by station count),
+plus three outcome-derived buckets (detector-confidence, probe-share,
+and queue residency) --
 and the :class:`FeatureMap` keeps per-cell statistics: hit counts,
 failures, and the lowest detector confidence seen.  A scenario is
 interesting (and enters the search corpus) when it lands in a cell
@@ -20,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..medium.config import parse_medium
 from ..sim.network import default_buffer_packets
 from ..units import mbps, ms
 from .scenario import Scenario, ScenarioOutcome
@@ -90,6 +92,27 @@ def jitter_bucket(scenario: Scenario) -> str:
     if a <= LOW_JITTER_MAX:
         return "low"
     return "high"
+
+
+def medium_bucket(scenario: Scenario) -> str:
+    """Shared-medium regime: ``queue`` for a plain FIFO bottleneck,
+    otherwise the CSMA/CA access mode bucketed by station count (the
+    detector's confidence degrades with contenders, not with the exact
+    count, so 3 vs 4 stations is the same cell)."""
+    spec = parse_medium(scenario.medium)
+    if spec is None:
+        return "queue"
+    if spec.n_stations <= 2:
+        scale = "2"
+    elif spec.n_stations <= 4:
+        scale = "4"
+    elif spec.n_stations <= 8:
+        scale = "8"
+    else:
+        scale = "many"
+    if spec.priority == "mixed":
+        return f"csma-{scale}-prio"
+    return f"csma-{scale}"
 
 
 def queue_residency_bucket(scenario: Scenario,
@@ -165,6 +188,7 @@ class FeatureCell:
     confidence: str
     probe_share: str
     queue: str = "empty"
+    medium: str = "queue"
 
     def as_id(self) -> str:
         """Stable string id (the map's dict key and report row key).
@@ -174,7 +198,8 @@ class FeatureCell:
         """
         return "|".join((self.qdisc, self.mix, self.cross, self.load,
                          self.buffer, self.jitter, self.backend,
-                         self.confidence, self.probe_share, self.queue))
+                         self.confidence, self.probe_share, self.queue,
+                         self.medium))
 
 
 def feature_cell(scenario: Scenario, outcome: ScenarioOutcome,
@@ -192,6 +217,7 @@ def feature_cell(scenario: Scenario, outcome: ScenarioOutcome,
             detector_confidence(outcome, threshold)),
         probe_share=probe_share_bucket(outcome),
         queue=queue_residency_bucket(scenario, outcome),
+        medium=medium_bucket(scenario),
     )
 
 

@@ -117,6 +117,11 @@ _MUTATION_BUFFERS = (0.25, 0.5, 1.0, 2.0, 4.0)
 _MUTATION_JITTER = (0.0, 0.05, 0.15, 0.3)
 _MUTATION_RATE_FRACS = (0.2, 0.3, 0.5)
 _MUTATION_STARTS = (0.0, 0.5, 1.0)
+#: Medium mutation targets: the plain queue plus the CSMA/CA station
+#: counts the contention envelope is calibrated over (powers of two up
+#: to 8, one priority mix).
+_MUTATION_MEDIUMS = ("queue", "csma-2", "csma-4", "csma-8",
+                     "csma-4-prio")
 _MUTATION_MAX_FLOWS = 5
 _MUTATION_MAX_DURATION = 30.0
 #: Duration floors per family: the probe needs several pulse windows
@@ -190,6 +195,14 @@ def _mut_cross(scenario, rng):
     return dataclasses.replace(scenario, cross_traffic=cross)
 
 
+def _mut_medium(scenario, rng):
+    # Both backends implement every medium (MediumLink on packet,
+    # ContentionBottleneck on fluid), so any choice stays runnable on
+    # the search's fluid exploration backend.
+    medium = _choice_not(rng, _MUTATION_MEDIUMS, scenario.medium)
+    return dataclasses.replace(scenario, medium=medium)
+
+
 def _mut_add_flow(scenario, rng):
     if (scenario.family != "flows"
             or len(scenario.flows) >= _MUTATION_MAX_FLOWS):
@@ -259,6 +272,7 @@ MUTATORS: tuple[Callable, ...] = (
     _mut_seed, _mut_qdisc, _mut_rate, _mut_rtt, _mut_buffer,
     _mut_duration, _mut_jitter, _mut_cross, _mut_add_flow,
     _mut_drop_flow, _mut_swap_cca, _mut_rate_frac, _mut_start,
+    _mut_medium,
 )
 
 

@@ -40,6 +40,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.elasticity import elasticity_series
+from ..medium.config import parse_medium
 from ..runtime.pool import derive_seed
 from .scenario import Scenario, ScenarioOutcome
 
@@ -47,7 +48,9 @@ from .scenario import Scenario, ScenarioOutcome
 FAULT_ENV = "REPRO_QA_FAULT"
 
 #: Bump to invalidate cached fuzz verdicts when oracle semantics change.
-SUITE_VERSION = 3
+#: 4: medium axis -- queue-regime gating of the calibrated envelopes,
+#: CSMA contention envelopes, and the airtime-agreement oracle.
+SUITE_VERSION = 4
 
 #: One MTU-ish slack unit for byte-level tolerances.
 _MTU = 1514
@@ -251,23 +254,65 @@ _INELASTIC_ENVELOPE = {
     ("cbr", 20.0, 50.0), ("cbr", 48.0, 20.0), ("cbr", 48.0, 50.0),
 }
 
+# The *contention* envelope: the same measurement repeated with the
+# bottleneck replaced by a CSMA/CA shared medium (probe and cross
+# traffic on separate stations).  Only two active stations exist in a
+# probe scenario, so the cells hold for every non-priority station
+# count; priority mixes change the contending station's access class
+# and are deliberately unjudged.  Measured over five seeds each
+# (20 s, droptail station queues, threshold 2.0):
+#
+#   reno 20/20ms  mean 8.8-13.3, always contending
+#   bbr  20/20ms  mean 6.7-9.3,  always contending
+#   cbr  48/20ms  mean 1.0-1.5,  never contending
+#   cbr  48/50ms  mean 1.2-1.8,  never contending
+#
+# The rest of the queue envelope does not carry over: at 48 Mbit/s the
+# MAC's airtime fairness caps the elastic competitor like per-flow FQ
+# and reno/bbr read *clean* (near-threshold, seed-dependent), while an
+# idle medium reads *contending* everywhere -- MAC overhead burns
+# airtime in proportion to the probe's own pulses and ẑ sees it as
+# elastic cross traffic.  Experiment E16 maps both effects; the
+# oracles only judge the decisive cells above.
+_MEDIUM_ELASTIC_ENVELOPE = {
+    ("reno", 20.0, 20.0), ("bbr", 20.0, 20.0),
+}
+_MEDIUM_INELASTIC_ENVELOPE = {
+    ("cbr", 48.0, 20.0), ("cbr", 48.0, 50.0),
+}
+
 
 def _probe_cell(scenario: Scenario) -> tuple[str, float, float]:
     return (scenario.cross_traffic, scenario.rate_mbps, scenario.rtt_ms)
 
 
+def _judgeable_medium(scenario: Scenario):
+    """The scenario's parsed medium, or None when its contention
+    verdict is not judgeable (priority mixes change the contending
+    station's access class and are outside the calibrated envelope)."""
+    spec = parse_medium(scenario.medium)
+    if spec is None or spec.priority == "mixed":
+        return None
+    return spec
+
+
 class ElasticCrossOracle(Oracle):
     """Ground truth (Goyal et al.): backlogged Reno/BBR cross traffic
     behind a shared FIFO must read elastic (contending), within the
-    detector's calibrated envelope (see :data:`_ELASTIC_ENVELOPE`)."""
+    detector's calibrated envelope (see :data:`_ELASTIC_ENVELOPE`;
+    CSMA mediums are judged against the narrower
+    :data:`_MEDIUM_ELASTIC_ENVELOPE`)."""
 
     name = "elastic-cross-detected"
 
     def applies(self, scenario) -> bool:
-        return (scenario.family == "probe"
-                and scenario.qdisc == "droptail"
-                and scenario.duration >= 18.0
-                and _probe_cell(scenario) in _ELASTIC_ENVELOPE)
+        if (scenario.family != "probe" or scenario.qdisc != "droptail"
+                or scenario.duration < 18.0):
+            return False
+        if scenario.medium == "queue":
+            return _probe_cell(scenario) in _ELASTIC_ENVELOPE
+        return (_judgeable_medium(scenario) is not None
+                and _probe_cell(scenario) in _MEDIUM_ELASTIC_ENVELOPE)
 
     def check(self, scenario, outcome, runner) -> list[str]:
         probe = outcome.probe or {}
@@ -290,10 +335,17 @@ class InelasticCrossOracle(Oracle):
         if scenario.family != "probe":
             return False
         if scenario.cross_traffic == "none":
-            return True
-        return (scenario.qdisc == "droptail"
-                and scenario.duration >= 18.0
-                and _probe_cell(scenario) in _INELASTIC_ENVELOPE)
+            # An idle path reads clean only behind a queue: on a CSMA
+            # medium, MAC overhead burns airtime in proportion to the
+            # probe's own pulses and reads as elastic cross traffic
+            # (experiment E16).
+            return scenario.medium == "queue"
+        if scenario.qdisc != "droptail" or scenario.duration < 18.0:
+            return False
+        if scenario.medium == "queue":
+            return _probe_cell(scenario) in _INELASTIC_ENVELOPE
+        return (_judgeable_medium(scenario) is not None
+                and _probe_cell(scenario) in _MEDIUM_INELASTIC_ENVELOPE)
 
     def check(self, scenario, outcome, runner) -> list[str]:
         probe = outcome.probe or {}
@@ -317,7 +369,9 @@ class FluidPacketAgreementOracle(Oracle):
     endpoint-timing-jitter axis are excluded: the fluid model's
     per-tick rate noise is only a coarse analogue of pacing/ACK-clock
     perturbation, so near-threshold verdict flips between the
-    backends under jitter are expected, not disagreement bugs.  Only
+    backends under jitter are expected, not disagreement bugs.
+    Shared-medium scenarios are judged by the dedicated
+    :class:`MediumAirtimeAgreementOracle` instead.  Only
     packet-backend scenarios re-run on fluid (not the reverse) so the
     oracle never doubles the expensive direction.
     """
@@ -333,6 +387,7 @@ class FluidPacketAgreementOracle(Oracle):
                 and scenario.qdisc == "droptail"
                 and scenario.duration >= 18.0
                 and scenario.timing_jitter == 0.0
+                and scenario.medium == "queue"
                 and (cell in _ELASTIC_ENVELOPE
                      or cell in _INELASTIC_ENVELOPE))
 
@@ -363,6 +418,46 @@ class FluidPacketAgreementOracle(Oracle):
                 f"{p_share:.3f} vs fluid {f_share:.3f} "
                 f"(tolerance 0.25)")
         return problems
+
+
+class MediumAirtimeAgreementOracle(Oracle):
+    """On calibrated CSMA cells the two media implementations must
+    divide airtime the same way: the packet backend's slotted
+    :class:`~repro.sim.medium.MediumLink` and the fluid backend's
+    Bianchi-law :class:`~repro.fluid.queue.ContentionBottleneck` give
+    the probe a share of delivered bytes that agrees within 0.15
+    (measured spread across seeds is under 0.05 on these cells).
+
+    Gated to the elastic contention-envelope cells: there both
+    stations are saturated and the share is pinned by MAC fairness.
+    On inelastic cells the share reflects transport dynamics (the
+    packet probe's closed loop backs off under contention delay
+    where the fluid law does not), a documented divergence -- see
+    DESIGN.md's validity envelope.
+    """
+
+    name = "medium-airtime-agreement"
+    period = 4
+    corpus_replay = False
+
+    def applies(self, scenario) -> bool:
+        return (scenario.backend == "packet"
+                and scenario.family == "probe"
+                and scenario.qdisc == "droptail"
+                and scenario.duration >= 18.0
+                and scenario.timing_jitter == 0.0
+                and _judgeable_medium(scenario) is not None
+                and _probe_cell(scenario) in _MEDIUM_ELASTIC_ENVELOPE)
+
+    def check(self, scenario, outcome, runner) -> list[str]:
+        fluid = runner(dataclasses.replace(scenario, backend="fluid"))
+        p_share = FluidPacketAgreementOracle._probe_share(outcome)
+        f_share = FluidPacketAgreementOracle._probe_share(fluid)
+        if abs(p_share - f_share) > 0.15:
+            return [f"airtime disagreement on {scenario.medium}: "
+                    f"packet probe share {p_share:.3f} vs fluid "
+                    f"{f_share:.3f} (tolerance 0.15)"]
+        return []
 
 
 class InjectedFaultOracle(Oracle):
@@ -415,6 +510,7 @@ ORACLES: tuple[Oracle, ...] = (
     ElasticCrossOracle(),
     InelasticCrossOracle(),
     FluidPacketAgreementOracle(),
+    MediumAirtimeAgreementOracle(),
     InjectedFaultOracle(),
 )
 

@@ -24,6 +24,7 @@ from ..cca.cbr import CbrCca
 from ..core.detector import ContentionDetector
 from ..core.probe import ElasticityProbe
 from ..errors import ConfigError
+from ..medium.config import MEDIUM_DEFAULT, parse_medium
 from ..obs.bus import capture
 from ..obs.invariants import check_trace
 from ..qdisc import (CoDelQueue, DropTailQueue, DrrFairQueue, HtbClass,
@@ -31,7 +32,7 @@ from ..qdisc import (CoDelQueue, DropTailQueue, DrrFairQueue, HtbClass,
                      TokenBucketFilter)
 from ..sim.engine import Simulator
 from ..sim.jitter import MAX_AMPLITUDE as JITTER_MAX, TimingJitter
-from ..sim.network import default_buffer_packets, dumbbell
+from ..sim.network import default_buffer_packets, dumbbell, medium_dumbbell
 from ..store.fingerprint import fingerprint
 from ..traffic.backlogged import BackloggedFlow
 from ..traffic.mix import CROSS_TRAFFIC_REGISTRY, make_cross_traffic
@@ -105,6 +106,11 @@ class Scenario:
             contention perturbing pacing/ACK clocking (2BRobust, see
             :mod:`repro.sim.jitter`); applies to measured flows and
             the probe, not to cross traffic.
+        medium: the bottleneck regime: "queue" (default -- the qdisc
+            fronts a serializing link) or "csma-<n>[-prio]" (a
+            CSMA/CA shared medium with n stations; flows map to
+            stations, each fronted by its own qdisc instance; see
+            :mod:`repro.medium`).
     """
 
     family: str
@@ -118,6 +124,7 @@ class Scenario:
     cross_traffic: str = "none"
     backend: str = "packet"
     timing_jitter: float = 0.0
+    medium: str = MEDIUM_DEFAULT
 
     def __post_init__(self):
         if self.family not in FAMILIES:
@@ -145,15 +152,16 @@ class Scenario:
             raise ConfigError(
                 f"timing_jitter must be in [0, {JITTER_MAX}]: "
                 f"{self.timing_jitter}")
+        parse_medium(self.medium)  # raises ConfigError on bad values
 
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-ready; round-trips via from_dict).
 
-        Default-valued late additions (backend, timing_jitter) are
-        omitted so every pre-existing scenario fingerprint -- and the
-        whole regression corpus -- is unchanged by their existence.
+        Default-valued late additions (backend, timing_jitter, medium)
+        are omitted so every pre-existing scenario fingerprint -- and
+        the whole regression corpus -- is unchanged by their existence.
         """
         d = dataclasses.asdict(self)
         d["flows"] = [dataclasses.asdict(f) for f in self.flows]
@@ -161,6 +169,8 @@ class Scenario:
             del d["backend"]
         if d["timing_jitter"] == 0.0:
             del d["timing_jitter"]
+        if d["medium"] == MEDIUM_DEFAULT:
+            del d["medium"]
         return d
 
     @classmethod
@@ -183,6 +193,8 @@ class Scenario:
         tail = "" if self.backend == "packet" else f" backend={self.backend}"
         if self.timing_jitter:
             tail += f" jitter={self.timing_jitter:g}"
+        if self.medium != MEDIUM_DEFAULT:
+            tail += f" medium={self.medium}"
         return (f"{self.family}[{what}] qdisc={self.qdisc}{extra} "
                 f"{self.rate_mbps:g}mbps/{self.rtt_ms:g}ms "
                 f"buf={self.buffer_multiplier:g} dur={self.duration:g}s "
@@ -331,14 +343,24 @@ def run_scenario(scenario: Scenario,
     sim = Simulator()
     rate = mbps(scenario.rate_mbps)
     rtt = ms(scenario.rtt_ms)
-    qdisc = build_qdisc(scenario)
+    medium_spec = parse_medium(scenario.medium)
+    qdisc = build_qdisc(scenario) if medium_spec is None else None
+    medium_link = None
 
     def build_and_run():
         # Starting a backlogged flow pumps its initial window into the
         # qdisc synchronously, so trace capture must already be active
         # here -- not just around sim.run() -- or the invariant checker
         # sees dequeues without their enqueues.
-        path = dumbbell(sim, rate, rtt, qdisc=qdisc)
+        nonlocal medium_link
+        if medium_spec is None:
+            path = dumbbell(sim, rate, rtt, qdisc=qdisc)
+        else:
+            path = medium_dumbbell(sim, rate, rtt, medium_spec,
+                                   qdisc_factory=lambda:
+                                   build_qdisc(scenario),
+                                   seed=scenario.seed)
+            medium_link = path.bottleneck
         sources: dict[str, object] = {}
         probe = None
         if scenario.family == "probe":
@@ -358,16 +380,23 @@ def run_scenario(scenario: Scenario,
         sim.run(until=scenario.duration)
         return sources, probe
 
+    def live_qdiscs():
+        roots = ([qdisc] if medium_spec is None
+                 else list(medium_link.station_qdiscs))
+        out = []
+        for q in roots:
+            out.append(q)
+            child = getattr(q, "child", None)
+            if child is not None:
+                out.append(child)
+        return out
+
     violations: list[str] = []
     if check_invariants:
         with capture() as trace:
             sources, probe = build_and_run()
-        qdiscs = [qdisc]
-        child = getattr(qdisc, "child", None)
-        if child is not None:
-            qdiscs.append(child)
         violations = [str(v) for v in check_trace(trace.events,
-                                                  qdiscs=qdiscs)]
+                                                  qdiscs=live_qdiscs())]
     else:
         sources, probe = build_and_run()
 
@@ -385,15 +414,18 @@ def run_scenario(scenario: Scenario,
             "category": verdict.category,
             "n_readings": verdict.n_readings,
         }
+    # In the contention regime the stats aggregate over the per-station
+    # qdiscs (the medium has no single shared queue).
+    roots = [qdisc] if medium_spec is None else medium_link.station_qdiscs
     qdisc_stats = {
-        "enqueued": float(qdisc.enqueued),
-        "dequeued": float(qdisc.dequeued),
-        "dequeued_bytes": float(qdisc.dequeued_bytes),
-        "drops": float(qdisc.drops),
-        "dropped_bytes": float(qdisc.dropped_bytes),
-        "marks": float(qdisc.marks),
-        "residual_packets": float(len(qdisc)),
-        "residual_bytes": float(qdisc.byte_length),
+        "enqueued": float(sum(q.enqueued for q in roots)),
+        "dequeued": float(sum(q.dequeued for q in roots)),
+        "dequeued_bytes": float(sum(q.dequeued_bytes for q in roots)),
+        "drops": float(sum(q.drops for q in roots)),
+        "dropped_bytes": float(sum(q.dropped_bytes for q in roots)),
+        "marks": float(sum(q.marks for q in roots)),
+        "residual_packets": float(sum(len(q) for q in roots)),
+        "residual_bytes": float(sum(q.byte_length for q in roots)),
     }
     return ScenarioOutcome(scenario=scenario, delivered=delivered,
                            qdisc_stats=qdisc_stats,

@@ -41,7 +41,7 @@ from ..store.artifacts import ArtifactStore
 from ..store.fingerprint import fingerprint
 from .corpus import DEFAULT_CORPUS_DIR, CorpusCase, case_for, save_case
 from .features import (FeatureMap, buffer_bucket, cca_mix_class,
-                       detector_confidence, jitter_bucket)
+                       detector_confidence, jitter_bucket, medium_bucket)
 from .fuzz import mutate_scenario, sample_scenario
 from .oracles import (FAULT_ENV, ORACLES, SUITE_VERSION, OracleFinding,
                       run_oracles)
@@ -217,7 +217,7 @@ def _projection(scenario: Scenario) -> str:
     has already been visited."""
     return "|".join((scenario.qdisc, cca_mix_class(scenario),
                      scenario.cross_traffic, buffer_bucket(scenario),
-                     jitter_bucket(scenario)))
+                     jitter_bucket(scenario), medium_bucket(scenario)))
 
 
 def _mutate_toward_novelty(parent: Scenario, rng: np.random.Generator,

@@ -50,6 +50,9 @@ def _candidates(scenario: Scenario) -> Iterator[tuple[str, Scenario]]:
     if scenario.timing_jitter != 0.0:
         yield ("remove timing jitter",
                dataclasses.replace(scenario, timing_jitter=0.0))
+    if scenario.medium != "queue":
+        yield ("replace shared medium with queue",
+               dataclasses.replace(scenario, medium="queue"))
     floor = (_PROBE_DURATION_FLOOR if scenario.family == "probe"
              else _FLOW_DURATION_FLOOR)
     if scenario.duration > floor:

@@ -82,17 +82,24 @@ def campaign_from_params(params: dict):
     agree and merged shard results assemble byte-identically.
     """
     from ..core.campaign import Campaign
+    from ..medium import MEDIUM_DEFAULT, parse_medium
 
     backend = params.get("backend", "packet")
     if backend not in ("packet", "fluid"):
         raise ConfigError(
             f"param 'backend' must be 'packet' or 'fluid': {backend!r}")
+    medium = params.get("medium", MEDIUM_DEFAULT)
+    if not isinstance(medium, str):
+        raise ConfigError(
+            f"param 'medium' must be a string: {medium!r}")
+    parse_medium(medium)  # raises ConfigError on bad values
     return Campaign(
         n_paths=_int_param(params, "n_paths", 40),
         seed=_int_param(params, "seed", 0, minimum=0),
         duration=_float_param(params, "duration", 30.0),
         fq_fraction=float(params.get("fq_fraction", 0.3)),
-        backend=backend)
+        backend=backend,
+        medium=medium)
 
 
 def execute_campaign(params: dict, store, workers) -> tuple[dict, object]:

@@ -101,6 +101,45 @@ def dumbbell(sim: Simulator, rate_bps: float, rtt: float,
                        rtt=rtt)
 
 
+def medium_dumbbell(sim: Simulator, rate_bps: float, rtt: float, spec,
+                    qdisc_factory=None, seed: int = 0,
+                    reverse_rate_bps: Optional[float] = None) -> PathHandles:
+    """A dumbbell whose bottleneck is a CSMA/CA shared medium.
+
+    Forward data crosses a :class:`~repro.sim.medium.MediumLink`
+    (stations contending for airtime, per-station qdiscs built by
+    ``qdisc_factory``); ACKs return over an ordinary fast link, as on
+    an infrastructure WLAN where the AP's downlink is not the
+    contended direction under study.
+
+    Args:
+        rate_bps: raw medium rate, bytes/second (goodput is lower --
+            backoff, collisions, and MAC overhead burn airtime).
+        rtt: two-way propagation delay, seconds.
+        spec: a :class:`~repro.medium.config.MediumSpec`.
+        qdisc_factory: builds one egress qdisc per station.
+        seed: root seed for the per-station backoff RNG.
+    """
+    from .medium import MediumLink
+
+    if rtt <= 0:
+        raise ConfigError(f"rtt must be positive: {rtt}")
+    src = Host("src")
+    dst = Host("dst")
+    fwd_delay = DelayBox(sim, rtt / 2.0, sink=dst, name="fwd-delay")
+    bottleneck = MediumLink(sim, rate_bps, spec, sink=fwd_delay,
+                            qdisc_factory=qdisc_factory, seed=seed,
+                            name="bottleneck")
+    rev_delay = DelayBox(sim, rtt / 2.0, sink=src, name="rev-delay")
+    rev_rate = reverse_rate_bps if reverse_rate_bps is not None \
+        else rate_bps * 40.0
+    reverse = Link(sim, rev_rate, sink=rev_delay,
+                   qdisc=DropTailQueue(limit_packets=10_000), name="reverse")
+    return PathHandles(sim=sim, entry=bottleneck, bottleneck=bottleneck,
+                       src_host=src, dst_host=dst, reverse_entry=reverse,
+                       rtt=rtt, extras={"medium": bottleneck})
+
+
 def trace_dumbbell(sim: Simulator, opportunities_ms: list[float], rtt: float,
                    qdisc: Optional[Qdisc] = None,
                    buffer_packets: int = 200) -> PathHandles:

@@ -167,7 +167,7 @@ class TestRegistryAndResults:
             "fig2", "fig3", "fq_ablation", "tbf_jitter", "subpacket",
             "fairness_matrix", "campaign_eval", "access_link",
             "tslp_vs_elasticity", "bwe_isolation", "cellular_robustness",
-            "envelope", "robustness", "fig2_scale"}
+            "envelope", "robustness", "fig2_scale", "medium_contention"}
 
     def test_result_save_round_trip(self, tmp_path):
         result = ExperimentResult(

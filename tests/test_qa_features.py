@@ -80,13 +80,14 @@ def test_feature_cell_id_is_stable_and_complete():
     outcome = run_scenario(scenario)
     cell = feature_cell(scenario, outcome)
     parts = cell.as_id().split("|")
-    assert len(parts) == 10
+    assert len(parts) == 11
     assert parts[0] == "droptail"
     assert parts[1] == "probe"
     assert parts[2] == "none"
     assert parts[5] == "none"  # jitter component, position the
     assert parts[6] == "fluid"  # experiment's cell parser relies on
     assert parts[9] in ("empty", "transient", "standing", "full")
+    assert parts[10] == "queue"  # medium is appended last (back-compat)
     assert cell == feature_cell(scenario, outcome)
 
 

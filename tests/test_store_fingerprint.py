@@ -48,7 +48,8 @@ class TestCanonicalization:
         s = spec()
         as_dict = {"rate_mbps": 48.0, "rtt_ms": 50.0,
                    "qdisc": "droptail", "cross_traffic": "reno",
-                   "buffer_multiplier": 1.0, "seed": 7}
+                   "buffer_multiplier": 1.0, "seed": 7,
+                   "medium": "queue"}
         assert fingerprint(s) == fingerprint(as_dict)
 
     def test_fingerprint_config_hook(self):
